@@ -1,0 +1,34 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: build test cover bench fuzz examples tidy
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+cover:
+	go test -cover ./internal/...
+
+# The full §4 evaluation: tens of minutes (Figures 6-7 average three
+# seeds per point, like the paper).
+bench:
+	go test -timeout 0 -bench=. -benchmem ./...
+
+fuzz:
+	go test -run '^$$' -fuzz FuzzUnmarshal -fuzztime 30s ./internal/tuple/
+	go test -run '^$$' -fuzz FuzzValueCodec -fuzztime 30s ./internal/tuple/
+	go test -run '^$$' -fuzz FuzzParse -fuzztime 30s ./internal/overlog/
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/chainrep
+	go run ./examples/chordmon
+	go run ./examples/profiling
+	go run ./examples/snapshot
+
+tidy:
+	gofmt -w .
+	go mod tidy

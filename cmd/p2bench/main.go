@@ -1,0 +1,101 @@
+// Command p2bench regenerates the evaluation of §4 of the paper: the
+// execution-logging overhead and Figures 4-7, printed as the series the
+// paper plots. See EXPERIMENTS.md for paper-vs-measured commentary.
+//
+// Usage:
+//
+//	p2bench -exp all            # everything (several minutes)
+//	p2bench -exp logging        # E0: cost of execution logging
+//	p2bench -exp fig4           # periodic rules
+//	p2bench -exp fig5           # piggybacked rules
+//	p2bench -exp fig6           # proactive consistency probes
+//	p2bench -exp fig7           # consistent snapshots
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"p2go/internal/bench"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment: logging, fig4, fig5, fig6, fig7, all")
+		seed = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	counts := []int{0, 50, 100, 150, 200, 250}
+	run := func(name string) {
+		switch name {
+		case "logging":
+			off, on, err := bench.LoggingOverhead(*seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("E0: execution logging overhead (paper: CPU 0.98% -> 1.38%, memory 8 MB -> 13 MB)")
+			fmt.Printf("  tracing off: %v\n", off)
+			fmt.Printf("  tracing on : %v\n", on)
+			fmt.Printf("  increase: CPU %+.0f%%, memory %+.0f%%\n",
+				100*(on.CPUPercent-off.CPUPercent)/off.CPUPercent,
+				100*(on.MemoryMB-off.MemoryMB)/off.MemoryMB)
+		case "fig4":
+			s, err := bench.PeriodicRules(*seed, counts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(bench.FormatTable(
+				"Figure 4: CPU and memory vs number of 1s periodic rules", s))
+		case "fig5":
+			s, err := bench.PiggybackRules(*seed, counts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(bench.FormatTable(
+				"Figure 5: CPU and memory vs number of piggybacked rules (one shared 1s timer, one state lookup each)", s))
+		case "fig6":
+			s, err := bench.ConsistencyProbes(*seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(bench.FormatTable(
+				"Figure 6: proactive inconsistency detector at increasing rates (1/s)", s))
+		case "fig7":
+			s, err := bench.Snapshots(*seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(bench.FormatTable(
+				"Figure 7: consistent snapshots at increasing rates (1/s)", s))
+		case "ablation":
+			idx, scan, err := bench.AblationIndexedJoins(*seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Ablation: indexed joins vs full scans (snapshot workload at 1/4 Hz)")
+			fmt.Printf("  indexed: %v\n  scans  : %v\n", idx, scan)
+			guard, buggy, err := bench.AblationDeadGuard(*seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Ablation: dead-neighbor guard (§3.1.3) after crashing 2 of 12 nodes")
+			fmt.Printf("  with guard:    healed at %+.0fs, stale-entry exposure %6.0f entry-seconds, %d oscillation events\n",
+				guard.HealTime, guard.StaleSeconds, guard.Oscillations)
+			fmt.Printf("  without guard: healed at %+.0fs, stale-entry exposure %6.0f entry-seconds, %d oscillation events\n",
+				buggy.HealTime, buggy.StaleSeconds, buggy.Oscillations)
+		default:
+			log.Fatalf("unknown experiment %q", name)
+		}
+		fmt.Println()
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"logging", "fig4", "fig5", "fig6", "fig7", "ablation"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"p2go"
+)
+
+func TestParseSeed(t *testing.T) {
+	good := []struct {
+		src  string
+		name string
+		loc  string
+	}{
+		{`link@n1("n2", 1).`, "link", "n1"},
+		{`peer@n3("n1").`, "peer", "n3"},
+		{`node@a(0xff).`, "node", "a"},
+		{`conf@host(3.5, true, [1, 2]).`, "conf", "host"},
+	}
+	for _, c := range good {
+		tp, err := parseSeed(c.src)
+		if err != nil {
+			t.Errorf("parseSeed(%q): %v", c.src, err)
+			continue
+		}
+		if tp.Name != c.name || tp.Loc() != c.loc {
+			t.Errorf("parseSeed(%q) = %v", c.src, tp)
+		}
+	}
+	bad := []string{
+		`not a tuple`,
+		`x@n1(Unbound).`,
+		`a@n1(1), b@n1(2).`,
+	}
+	for _, src := range bad {
+		if _, err := parseSeed(src); err == nil {
+			t.Errorf("parseSeed(%q) must fail", src)
+		}
+	}
+}
+
+func TestInjectSeedsFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seeds")
+	err := os.WriteFile(path, []byte(`
+// comment
+link@n1("n2", 1).
+
+link@n2("n1", 1).
+`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := p2go.NewSim()
+	net := p2go.NewNetwork(sim, p2go.NetworkConfig{Seed: 1})
+	prog := p2go.MustParse(`materialize(link, infinity, infinity, keys(1,2)).`)
+	for _, a := range []string{"n1", "n2"} {
+		n, _ := net.AddNode(a)
+		if err := n.InstallProgram(prog); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := injectSeeds(net, path); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(1)
+	for _, a := range []string{"n1", "n2"} {
+		if got := net.Node(a).Store().Get("link").Count(); got != 1 {
+			t.Errorf("%s link rows = %d", a, got)
+		}
+	}
+	if err := injectSeeds(net, filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file must fail")
+	}
+}

@@ -1,0 +1,65 @@
+package bench
+
+import "testing"
+
+// TestSampleFormatting pins the harness's presentation helpers.
+func TestSampleFormatting(t *testing.T) {
+	s := Sample{Label: "1/4", X: 0.25, CPUPercent: 2.5, MemoryMB: 10.1,
+		LiveTuples: 42, TxMessages: 7}
+	if got := s.String(); got == "" {
+		t.Error("empty sample string")
+	}
+	table := FormatTable("title", []Sample{s})
+	if table == "" || len(table) < 20 {
+		t.Errorf("table = %q", table)
+	}
+}
+
+// TestWorkloadProgramsParse: the synthetic Figure 4/5 workloads must be
+// valid OverLog at every size used by the benchmarks.
+func TestWorkloadProgramsParse(t *testing.T) {
+	for _, c := range []int{1, 50, 250} {
+		if got := len(periodicRulesProgram(c).Rules()); got != c {
+			t.Errorf("periodic program with %d rules has %d", c, got)
+		}
+		if got := len(piggybackRulesProgram(c).Rules()); got != c+1 {
+			t.Errorf("piggyback program with %d rules has %d (driver included)", c, got)
+		}
+	}
+}
+
+// TestRateLabelsMatchPaper pins the x axis of Figures 6 and 7.
+func TestRateLabelsMatchPaper(t *testing.T) {
+	want := []string{"None", "1/32", "1/4", "1/2", "3/4", "1"}
+	if len(RateLabels) != len(want) {
+		t.Fatalf("rate labels = %v", RateLabels)
+	}
+	for i, rl := range RateLabels {
+		if rl.Label != want[i] {
+			t.Errorf("label %d = %q, want %q", i, rl.Label, want[i])
+		}
+	}
+	if RateLabels[0].Rate != 0 || RateLabels[5].Rate != 1 {
+		t.Error("rate endpoints wrong")
+	}
+}
+
+// TestMeasurementDeterminism: identical seeds yield identical samples —
+// the property that makes every number in EXPERIMENTS.md reproducible.
+func TestMeasurementDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two ring builds")
+	}
+	run := func() Sample {
+		r, err := buildRing(7, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return measure(r, "x", 0)
+	}
+	a, b := run(), run()
+	if a.CPUPercent != b.CPUPercent || a.LiveTuples != b.LiveTuples ||
+		a.TxMessages != b.TxMessages || a.MemoryMB != b.MemoryMB {
+		t.Errorf("non-deterministic measurement:\n%v\n%v", a, b)
+	}
+}

@@ -1,0 +1,25 @@
+package bench
+
+import "testing"
+
+// TestLoggingOverheadSmoke runs the cheapest full experiment end to end
+// (the complete figures are exercised by the root bench_test.go
+// benchmarks and cmd/p2bench; they are too slow for the unit suite).
+func TestLoggingOverheadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ring build takes ~20s")
+	}
+	off, on, err := LoggingOverhead(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.CPUPercent <= 0 || on.CPUPercent <= off.CPUPercent {
+		t.Errorf("tracing must cost CPU: off=%v on=%v", off, on)
+	}
+	if on.MemoryMB <= off.MemoryMB {
+		t.Errorf("tracing must cost memory: off=%v on=%v", off, on)
+	}
+	if on.LiveTuples <= off.LiveTuples {
+		t.Errorf("tracing must add live trace tuples: off=%v on=%v", off, on)
+	}
+}

@@ -1,0 +1,131 @@
+// Package chainrep implements chain replication as a second OverLog
+// application, demonstrating the paper's §3.4 claim that its monitoring
+// techniques "apply equally well to other algorithms with distributed
+// state and control": the same traversal-plus-per-hop-check pattern used
+// for Chord's ring (ri2-ri6) audits a replication chain, and the same
+// watchpoint style flags replica divergence on-line.
+//
+// The protocol is the classic head-to-tail chain (van Renesse &
+// Schneider, OSDI 2004, simplified): writes enter at the head, propagate
+// down chainNext links, and are acknowledged by the tail; reads are
+// served by the tail. The chain topology is static configuration.
+package chainrep
+
+import (
+	"fmt"
+
+	"p2go/internal/engine"
+	"p2go/internal/overlog"
+	"p2go/internal/tuple"
+)
+
+// Rules is the chain-replication OverLog program.
+//
+// Schema:
+//
+//	chainNext(NAddr, Next)       static chain link; "-" marks the tail
+//	store(NAddr, Key, Val)       the replicated key-value state
+//
+// Client events:
+//
+//	put(Head, Key, Val, ReqID, Client)  -> putAck(Client, Key, ReqID)
+//	get(Tail, Key, ReqID, Client)       -> getResult(Client, Key, Val, ReqID, Tail)
+//	                                     | getMiss(Client, Key, ReqID, Tail)
+const Rules = `
+materialize(chainNext, infinity, 1, keys(1)).
+materialize(store, infinity, infinity, keys(1,2)).
+
+/* ---- writes: apply locally, forward down the chain, ack at the tail */
+w1 storeWrite@N(K, V, R, C) :- put@N(K, V, R, C).
+w2 store@N(K, V) :- storeWrite@N(K, V, R, C).
+w3 put@Next(K, V, R, C) :- storeWrite@N(K, V, R, C), chainNext@N(Next), Next != "-".
+w4 putAck@C(K, R) :- storeWrite@N(K, V, R, C), chainNext@N(Next), Next == "-".
+
+/* ---- reads: served from local state (clients address the tail) */
+g1 hit@N(K, R, C, count<*>) :- get@N(K, R, C), store@N(K, V).
+g2 getResult@C(K, V, R, N) :- get@N(K, R, C), store@N(K, V).
+g3 getMiss@C(K, R, N) :- hit@N(K, R, C, Cnt), Cnt == 0.
+`
+
+// MonitorRules are the §3.4-style add-ons for the chain, installable
+// on-line like every other monitor in this repository:
+//
+//   - chain-length traversal (the analog of the ring traversal ri2-ri6):
+//     inject chainLenEvent at the head; chainLen(Head, E, Hops) reports
+//     the walked length so a broken or shortened chain is detectable
+//     against the expected length;
+//   - replica-divergence audit (per-hop soundness check): inject
+//     chainAudit(Head, E, Key); the token carries the head's value down
+//     the chain and every disagreeing replica reports divergence to the
+//     head. auditDone confirms the audit reached the tail.
+const MonitorRules = `
+cl1 lenTok@Next(E, NAddr, 1) :- chainLenEvent@NAddr(E), chainNext@NAddr(Next), Next != "-".
+cl2 chainLen@NAddr(E, 1) :- chainLenEvent@NAddr(E), chainNext@NAddr(Next), Next == "-".
+cl3 lenTok@Next(E, Src, D + 1) :- lenTok@NAddr(E, Src, D), chainNext@NAddr(Next), Next != "-".
+cl4 chainLen@Src(E, D + 1) :- lenTok@NAddr(E, Src, D), chainNext@NAddr(Next), Next == "-".
+
+a1 auditTok@Next(E, K, V, NAddr, 1) :- chainAudit@NAddr(E, K), store@NAddr(K, V), chainNext@NAddr(Next), Next != "-".
+a2 divergence@Src(E, K, V, V2, NAddr) :- auditTok@NAddr(E, K, V, Src, D), store@NAddr(K, V2), V2 != V.
+a3 auditTok@Next(E, K, V, Src, D + 1) :- auditTok@NAddr(E, K, V, Src, D), chainNext@NAddr(Next), Next != "-".
+a4 auditDone@Src(E, K, D + 1) :- auditTok@NAddr(E, K, V, Src, D), chainNext@NAddr(Next), Next == "-".
+
+watch(chainLen).
+watch(divergence).
+watch(auditDone).
+`
+
+// Program parses the chain-replication rules.
+func Program() *overlog.Program { return overlog.MustParse(Rules) }
+
+// MonitorProgram parses the traversal/audit monitors.
+func MonitorProgram() *overlog.Program { return overlog.MustParse(MonitorRules) }
+
+// Install loads the protocol (and monitors) onto a node and seeds its
+// chainNext link; next is "-" for the tail.
+func Install(n *engine.Node, next string) error {
+	if err := n.InstallProgram(Program()); err != nil {
+		return fmt.Errorf("chainrep: %w", err)
+	}
+	if err := n.InstallProgram(MonitorProgram()); err != nil {
+		return fmt.Errorf("chainrep: %w", err)
+	}
+	n.HandleLocal(tuple.New("chainNext", tuple.Str(n.Addr()), tuple.Str(next)))
+	return nil
+}
+
+// Put builds a write request for injection at the head.
+func Put(head, key, val string, reqID uint64, client string) tuple.Tuple {
+	return tuple.New("put", tuple.Str(head), tuple.Str(key), tuple.Str(val),
+		tuple.ID(reqID), tuple.Str(client))
+}
+
+// Get builds a read request for injection at the tail.
+func Get(tail, key string, reqID uint64, client string) tuple.Tuple {
+	return tuple.New("get", tuple.Str(tail), tuple.Str(key),
+		tuple.ID(reqID), tuple.Str(client))
+}
+
+// LenEvent starts a chain-length traversal at the head.
+func LenEvent(head string, e uint64) tuple.Tuple {
+	return tuple.New("chainLenEvent", tuple.Str(head), tuple.ID(e))
+}
+
+// AuditEvent starts a replica-divergence audit for key at the head.
+func AuditEvent(head, key string, e uint64) tuple.Tuple {
+	return tuple.New("chainAudit", tuple.Str(head), tuple.ID(e), tuple.Str(key))
+}
+
+// StoreValue reads a replica's current value for key ("" if absent).
+func StoreValue(n *engine.Node, key string) string {
+	tb := n.Store().Get("store")
+	if tb == nil {
+		return ""
+	}
+	out := ""
+	tb.Scan(n.Now(), func(t tuple.Tuple) {
+		if t.Field(1).AsStr() == key {
+			out = t.Field(2).AsStr()
+		}
+	})
+	return out
+}

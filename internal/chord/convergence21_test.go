@@ -1,0 +1,27 @@
+package chord
+
+import "testing"
+
+// TestConvergence21 reproduces the paper's deployment scale: a 21-node
+// ring (§4) must converge to the correct successor/predecessor relation
+// within five minutes of virtual time.
+func TestConvergence21(t *testing.T) {
+	r, err := NewRing(RingConfig{N: 21, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(300)
+	if bad := r.CheckRing(r.Addrs); len(bad) > 0 {
+		t.Fatalf("21-node ring not converged after 300s: %v", bad)
+	}
+	m := r.Node("n21").Metrics()
+	if m.BusySeconds <= 0 || m.MsgsSent == 0 {
+		t.Errorf("implausible metrics: %+v", m)
+	}
+	// The calibrated cost model should put an idle Chord node around
+	// the paper's ~1% CPU baseline (order of magnitude check).
+	cpu := 100 * m.BusySeconds / 300
+	if cpu < 0.2 || cpu > 5 {
+		t.Errorf("baseline CPU = %.2f%%, want ~1%%", cpu)
+	}
+}

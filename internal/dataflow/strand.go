@@ -1,0 +1,530 @@
+// Package dataflow implements the executable form of OverLog rules: rule
+// strands, the element pipelines the planner produces (Figure 1 of the
+// paper). A strand is triggered by one tuple — an incoming event, a timer
+// firing, or a delta on a materialized table — and runs a sequence of
+// elements (joins against tables, selections, assignments) ending in head
+// construction and routing.
+//
+// Every stateful element (join) defines a tracing "stage"; strands invoke
+// the taps of a Context so the execution tracer (internal/trace) can
+// reconstruct rule executions exactly as described in §2.1 of the paper.
+package dataflow
+
+import (
+	"fmt"
+
+	"p2go/internal/overlog"
+	"p2go/internal/table"
+	"p2go/internal/tuple"
+)
+
+// Context is the node-side environment a strand executes in. The engine's
+// Node implements it; tests provide lightweight fakes.
+type Context interface {
+	overlog.Context
+
+	// Table returns the materialized table for a predicate, or nil.
+	Table(name string) *table.Table
+
+	// EmitHead routes a head tuple produced by a strand: local insert or
+	// event, remote send, or (for delete rules) table deletion. The
+	// pattern form of delete heads uses nil values as wildcards.
+	EmitHead(s *Strand, t tuple.Tuple, isDelete bool)
+
+	// Bill charges cost seconds of simulated CPU work to the node.
+	Bill(seconds float64)
+
+	// Tracer taps (no-ops when execution logging is off). The output
+	// tap lives inside EmitHead: the node assigns the head tuple its
+	// node-unique ID there, which the tracer needs.
+	TraceInput(s *Strand, t tuple.Tuple)
+	TracePrecond(s *Strand, stage int, t tuple.Tuple)
+	TraceStageDone(s *Strand, stage int)
+
+	// RuleError reports a runtime error during rule evaluation (type
+	// mismatch, unbound variable); execution of the activation continues
+	// with the offending binding dropped, as in P2.
+	RuleError(ruleID string, err error)
+}
+
+// TriggerKind says what fires a strand.
+type TriggerKind uint8
+
+const (
+	// TriggerEvent fires on arrival of an event tuple (a predicate that
+	// is not materialized).
+	TriggerEvent TriggerKind = iota
+	// TriggerDelta fires on insertion into a materialized table.
+	TriggerDelta
+	// TriggerPeriodic fires on a node-local timer (the built-in
+	// periodic@N(E, T) event).
+	TriggerPeriodic
+)
+
+// Trigger describes a strand's triggering predicate.
+type Trigger struct {
+	Kind TriggerKind
+	// Name is the predicate (or table) name that fires the strand.
+	Name string
+	// Period and Count apply to periodic triggers: the firing interval
+	// in seconds and the number of firings (0 = forever).
+	Period float64
+	Count  int
+	// FieldSlots maps each trigger tuple field to a variable slot
+	// (-1 = don't bind). For aggregate delta strands only group-by
+	// variables are bound; the table is rescanned by a JoinOp instead.
+	FieldSlots []int
+	// FieldConsts holds per-field constants the trigger tuple must
+	// match (nil value = no constraint).
+	FieldConsts []tuple.Value
+}
+
+// Op is one pipeline element following the trigger.
+type Op interface {
+	opNode()
+}
+
+// JoinOp probes a table: for each row matching the already-bound fields
+// and constants it binds the free fields and continues the pipeline. Each
+// JoinOp is one tracing stage.
+type JoinOp struct {
+	// Table is the probed table's name.
+	Table string
+	// Stage is the 1-based tracing stage index.
+	Stage int
+	// FieldSlots maps row fields to variable slots (-1 = ignore). A
+	// slot already bound acts as an equality constraint; an unbound
+	// slot is bound by the row (and unbound again on backtrack).
+	FieldSlots []int
+	// FieldConsts holds per-field constant constraints (nil = none).
+	FieldConsts []tuple.Value
+	// IndexPositions lists the 0-based field positions statically known
+	// to be bound when the join runs (constants plus variables bound by
+	// the trigger or earlier ops). Non-empty means the join probes a
+	// secondary index over these positions instead of scanning — the
+	// planner-created join indices of P2.
+	IndexPositions []int
+}
+
+func (*JoinOp) opNode() {}
+
+// CondOp filters bindings by a boolean expression (a selection element).
+type CondOp struct{ Expr overlog.Expr }
+
+func (*CondOp) opNode() {}
+
+// AssignOp binds a fresh variable slot to the value of an expression.
+type AssignOp struct {
+	Slot int
+	Expr overlog.Expr
+}
+
+func (*AssignOp) opNode() {}
+
+// AggSpec describes the head aggregate of an aggregate rule.
+type AggSpec struct {
+	// Op is count, min, max, sum, or avg.
+	Op string
+	// Slot is the aggregated variable's slot; -1 for count<*>.
+	Slot int
+	// ArgIndex is the head-argument position holding the aggregate
+	// (index into Head args including the location at 0).
+	ArgIndex int
+	// EmitZero: when true and the aggregate is count, an activation
+	// producing no matches emits a single head with count 0 (possible
+	// only when all group-by variables are bound by the trigger; the
+	// snapshot rule sr9 depends on observing count 0).
+	EmitZero bool
+}
+
+// Strand is one compiled rule strand.
+type Strand struct {
+	// RuleID is the rule label (possibly planner-generated).
+	RuleID string
+	// Source is the original rule text, exposed through the ruleTable
+	// reflection table.
+	Source string
+	// Trigger fires the strand.
+	Trigger Trigger
+	// NumVars is the size of the binding frame.
+	NumVars int
+	// VarNames maps slots to variable names (diagnostics).
+	VarNames []string
+	// Ops is the element pipeline.
+	Ops []Op
+	// HeadName, HeadArgs build the head tuple; HeadArgs includes the
+	// location expression at index 0.
+	HeadName string
+	HeadArgs []overlog.Expr
+	// IsDelete marks delete rules.
+	IsDelete bool
+	// Agg is non-nil for aggregate rules.
+	Agg *AggSpec
+	// Stages is the number of stateful (join) stages.
+	Stages int
+}
+
+// String identifies the strand.
+func (s *Strand) String() string {
+	return fmt.Sprintf("strand(%s<-%s)", s.RuleID, s.Trigger.Name)
+}
+
+// Binding is a variable frame; tuple.Nil marks unbound slots. (OverLog
+// values inside tuples are never nil: the parser has no nil literal in
+// predicate arguments, so nil-as-unbound is unambiguous.)
+type Binding []tuple.Value
+
+// DisableIndexedJoins forces every join back to a full table scan. It
+// exists solely for the ablation benchmark quantifying what P2's
+// planner-created join indices buy (see bench.AblationIndexedJoins);
+// production code never sets it. Not safe to flip while nodes run.
+var DisableIndexedJoins bool
+
+// Cost model constants, in seconds of simulated CPU per operation. These
+// are the knobs DESIGN.md §4 describes: they stand in for the paper's
+// OS-measured CPU utilization. Calibrated so a 21-node Chord network
+// idles around 1% CPU per node, matching the paper's baseline.
+const (
+	CostTupleHandoff = 75e-6   // demux + queue + strand entry per tuple
+	CostTimerFire    = 15e-6   // scheduler overhead of a private timer
+	CostJoinSetup    = 40e-6   // per join invocation: index/iterator setup
+	CostJoinProbe    = 17.5e-6 // per candidate row visited in a join
+	CostEval         = 10e-6   // per condition/assignment evaluation
+	CostHead         = 50e-6   // head construction + routing
+	CostTableOp      = 62.5e-6 // table insert/delete
+	CostMarshal      = 50e-6   // marshal or unmarshal one tuple
+	CostTraceTap     = 25e-6   // tracer tap + log-table bookkeeping (when tracing on)
+)
+
+// Run executes one activation of the strand for the triggering tuple.
+// The caller (engine.Node) has already matched trig.Name.
+func (s *Strand) Run(ctx Context, trig tuple.Tuple) {
+	ctx.Bill(CostTupleHandoff)
+	b := make(Binding, s.NumVars)
+	if !bindFields(b, trig, s.Trigger.FieldSlots, s.Trigger.FieldConsts, nil) {
+		return // trigger constants or self-unification failed
+	}
+	ctx.TraceInput(s, trig)
+
+	var agg *aggState
+	if s.Agg != nil {
+		agg = newAggState(s)
+		if s.Agg.EmitZero {
+			// Pre-evaluate the group-by values from the trigger
+			// binding so an empty activation can emit count 0.
+			lookup := b.lookup(s)
+			zero := make([]tuple.Value, 0, len(s.HeadArgs)-1)
+			for i, e := range s.HeadArgs {
+				if i == s.Agg.ArgIndex {
+					continue
+				}
+				v, err := overlog.Eval(e, lookup, ctx)
+				if err != nil {
+					ctx.RuleError(s.RuleID, err)
+					return
+				}
+				zero = append(zero, v)
+			}
+			agg.zeroGroup = zero
+		}
+	}
+	s.exec(ctx, b, 0, agg)
+	// Aggregates emit before the completion signals: the output tap
+	// must observe them while the tracer record is still associated.
+	if agg != nil {
+		s.flushAgg(ctx, agg)
+	}
+	// Signal stage completions in pull order: the first stateful
+	// element seeks a new input first, then each later stage drains and
+	// seeks its own (§2.1.2). Ascending order advances the tracer
+	// record's associated interval forward until it retires.
+	for st := 1; st <= s.Stages; st++ {
+		ctx.TraceStageDone(s, st)
+	}
+}
+
+// exec runs ops[i:] under binding b, emitting heads at the end.
+func (s *Strand) exec(ctx Context, b Binding, i int, agg *aggState) {
+	if i == len(s.Ops) {
+		if agg != nil {
+			s.accumulate(ctx, b, agg)
+			return
+		}
+		s.emit(ctx, b)
+		return
+	}
+	switch op := s.Ops[i].(type) {
+	case *JoinOp:
+		tb := ctx.Table(op.Table)
+		if tb == nil {
+			ctx.RuleError(s.RuleID, fmt.Errorf("join against unmaterialized table %s", op.Table))
+			return
+		}
+		ctx.Bill(CostJoinSetup)
+		probe := func(row tuple.Tuple) {
+			var undo []int
+			if !bindFields(b, row, op.FieldSlots, op.FieldConsts, &undo) {
+				unbind(b, undo)
+				return
+			}
+			ctx.TracePrecond(s, op.Stage, row)
+			s.exec(ctx, b, i+1, agg)
+			unbind(b, undo)
+		}
+		if len(op.IndexPositions) > 0 && !DisableIndexedJoins {
+			values := make([]tuple.Value, len(op.IndexPositions))
+			ok := true
+			for k, p := range op.IndexPositions {
+				if c := op.FieldConsts[p]; !c.IsNil() {
+					values[k] = c
+					continue
+				}
+				v := b[op.FieldSlots[p]]
+				if v.IsNil() {
+					ok = false // should not happen: planner guarantees boundness
+					break
+				}
+				values[k] = v
+			}
+			if ok {
+				visited := tb.MatchIndexed(ctx.Now(), op.IndexPositions, values, probe)
+				ctx.Bill(float64(visited) * CostJoinProbe)
+				return
+			}
+		}
+		tb.Scan(ctx.Now(), func(row tuple.Tuple) {
+			ctx.Bill(CostJoinProbe)
+			probe(row)
+		})
+	case *CondOp:
+		ctx.Bill(CostEval)
+		v, err := overlog.Eval(op.Expr, b.lookup(s), ctx)
+		if err != nil {
+			ctx.RuleError(s.RuleID, err)
+			return
+		}
+		if v.Truth() {
+			s.exec(ctx, b, i+1, agg)
+		}
+	case *AssignOp:
+		ctx.Bill(CostEval)
+		v, err := overlog.Eval(op.Expr, b.lookup(s), ctx)
+		if err != nil {
+			ctx.RuleError(s.RuleID, err)
+			return
+		}
+		old := b[op.Slot]
+		b[op.Slot] = v
+		s.exec(ctx, b, i+1, agg)
+		b[op.Slot] = old
+	}
+}
+
+// lookup adapts a binding to the expression evaluator.
+func (b Binding) lookup(s *Strand) overlog.Lookup {
+	return func(name string) (tuple.Value, bool) {
+		for i, n := range s.VarNames {
+			if n == name {
+				v := b[i]
+				return v, !v.IsNil()
+			}
+		}
+		return tuple.Nil, false
+	}
+}
+
+// bindFields unifies a tuple against per-field slots and constants. When
+// undo is non-nil, newly bound slots are appended for backtracking. It
+// returns false on a constant mismatch or disagreement with an existing
+// binding.
+func bindFields(b Binding, t tuple.Tuple, slots []int, consts []tuple.Value, undo *[]int) bool {
+	n := len(slots)
+	if len(t.Fields) != n {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if c := consts[i]; !c.IsNil() {
+			if !t.Fields[i].Equal(c) {
+				return false
+			}
+			continue
+		}
+		slot := slots[i]
+		if slot < 0 {
+			continue
+		}
+		if b[slot].IsNil() {
+			b[slot] = t.Fields[i]
+			if undo != nil {
+				*undo = append(*undo, slot)
+			}
+			continue
+		}
+		if !b[slot].Equal(t.Fields[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func unbind(b Binding, undo []int) {
+	for _, slot := range undo {
+		b[slot] = tuple.Nil
+	}
+}
+
+// emit builds and routes the head tuple for a completed binding.
+func (s *Strand) emit(ctx Context, b Binding) {
+	ctx.Bill(CostHead)
+	fields := make([]tuple.Value, len(s.HeadArgs))
+	lookup := b.lookup(s)
+	for i, e := range s.HeadArgs {
+		if s.IsDelete {
+			// Delete heads allow unbound variables as wildcards.
+			if v, ok := e.(*overlog.Var); ok {
+				if val, bound := lookup(v.Name); bound {
+					fields[i] = val
+				} else {
+					fields[i] = tuple.Nil
+				}
+				continue
+			}
+		}
+		v, err := overlog.Eval(e, lookup, ctx)
+		if err != nil {
+			ctx.RuleError(s.RuleID, err)
+			return
+		}
+		fields[i] = v
+	}
+	t := tuple.New(s.HeadName, fields...)
+	ctx.EmitHead(s, t, s.IsDelete)
+}
+
+// aggState accumulates per-group aggregate values for one activation.
+type aggState struct {
+	groups    map[uint64]*aggGroup
+	order     []uint64
+	zeroGroup []tuple.Value // group values for the count-0 emission
+}
+
+type aggGroup struct {
+	groupVals []tuple.Value // head args except the aggregate position
+	count     int64
+	minV      tuple.Value
+	maxV      tuple.Value
+	sum       float64
+}
+
+func newAggState(*Strand) *aggState {
+	return &aggState{groups: make(map[uint64]*aggGroup)}
+}
+
+// accumulate folds one completed binding into its group.
+func (s *Strand) accumulate(ctx Context, b Binding, agg *aggState) {
+	ctx.Bill(CostEval)
+	lookup := b.lookup(s)
+	groupVals := make([]tuple.Value, 0, len(s.HeadArgs)-1)
+	for i, e := range s.HeadArgs {
+		if i == s.Agg.ArgIndex {
+			continue
+		}
+		v, err := overlog.Eval(e, lookup, ctx)
+		if err != nil {
+			ctx.RuleError(s.RuleID, err)
+			return
+		}
+		groupVals = append(groupVals, v)
+	}
+	key := tuple.New("", groupVals...).Hash()
+	g, ok := agg.groups[key]
+	if !ok {
+		g = &aggGroup{groupVals: groupVals}
+		agg.groups[key] = g
+		agg.order = append(agg.order, key)
+	}
+	g.count++
+	var av tuple.Value
+	if s.Agg.Slot >= 0 {
+		av = b[s.Agg.Slot]
+		if av.IsNil() {
+			ctx.RuleError(s.RuleID, fmt.Errorf("aggregate variable unbound"))
+			return
+		}
+	}
+	switch s.Agg.Op {
+	case "min":
+		if g.minV.IsNil() || av.Compare(g.minV) < 0 {
+			g.minV = av
+		}
+	case "max":
+		if g.maxV.IsNil() || av.Compare(g.maxV) > 0 {
+			g.maxV = av
+		}
+	case "sum", "avg":
+		if !av.Numeric() {
+			ctx.RuleError(s.RuleID, fmt.Errorf("sum/avg over non-numeric value"))
+			return
+		}
+		g.sum += avFloat(av)
+	}
+}
+
+func avFloat(v tuple.Value) float64 {
+	switch v.Kind() {
+	case tuple.KindInt:
+		return float64(v.AsInt())
+	case tuple.KindID:
+		return float64(v.AsID())
+	default:
+		return v.AsFloat()
+	}
+}
+
+// flushAgg emits one head tuple per group at the end of the activation.
+func (s *Strand) flushAgg(ctx Context, agg *aggState) {
+	if len(agg.order) == 0 && s.Agg.EmitZero && s.Agg.Op == "count" {
+		// All group variables were bound by the trigger: emit count 0
+		// for that single group (snapshot rule sr9 relies on this).
+		s.emitAggGroup(ctx, agg.zeroGroup, tuple.Int(0))
+		return
+	}
+	for _, key := range agg.order {
+		g := agg.groups[key]
+		var v tuple.Value
+		switch s.Agg.Op {
+		case "count":
+			v = tuple.Int(g.count)
+		case "min":
+			v = g.minV
+		case "max":
+			v = g.maxV
+		case "sum":
+			v = tuple.Float(g.sum)
+		case "avg":
+			v = tuple.Float(g.sum / float64(g.count))
+		}
+		if v.IsNil() {
+			continue
+		}
+		s.emitAggGroup(ctx, g.groupVals, v)
+	}
+}
+
+// emitAggGroup reassembles the head tuple from group values plus the
+// aggregate result.
+func (s *Strand) emitAggGroup(ctx Context, groupVals []tuple.Value, av tuple.Value) {
+	ctx.Bill(CostHead)
+	fields := make([]tuple.Value, len(s.HeadArgs))
+	j := 0
+	for i := range s.HeadArgs {
+		if i == s.Agg.ArgIndex {
+			fields[i] = av
+			continue
+		}
+		fields[i] = groupVals[j]
+		j++
+	}
+	t := tuple.New(s.HeadName, fields...)
+	ctx.EmitHead(s, t, s.IsDelete)
+}

@@ -1,0 +1,547 @@
+// Package engine implements the P2 node runtime: a single-threaded
+// dataflow executor that owns a soft-state store, compiled rule strands,
+// periodic timers, the execution tracer, and the network pre/postamble.
+//
+// A node is entirely passive: a driver (the discrete-event simulator in
+// internal/simnet, or a real-time runner) delivers messages, timer firings
+// and sweeps, each of which runs one "task" — the full cascade of rule
+// activations triggered by that stimulus — and returns the simulated CPU
+// cost, which the driver uses to model the node as a single-server queue.
+package engine
+
+import (
+	"fmt"
+
+	"math/rand"
+
+	"p2go/internal/dataflow"
+	"p2go/internal/metrics"
+	"p2go/internal/overlog"
+	"p2go/internal/planner"
+	"p2go/internal/table"
+	"p2go/internal/trace"
+	"p2go/internal/tuple"
+)
+
+// Reflection table names: the node's own rules and table declarations are
+// queryable from OverLog (§2.1 "introspection").
+const (
+	RuleTableName  = "ruleTable"
+	TableTableName = "tableTable"
+)
+
+// InstallEventName is the higher-order installation event (§1.3: "the
+// system can be programmed to react to events by installing new triggers
+// itself"). A rule head installProgram@N(Source) causes the OverLog text
+// in Source to be parsed and installed on node N, on-line.
+const InstallEventName = "installProgram"
+
+// maxCascade bounds the rule-activation cascade per task, guarding
+// against non-terminating recursive programs.
+const maxCascade = 200000
+
+// Envelope is one network message: a marshaled tuple plus the provenance
+// the receiver's tracer records in tupleTable.
+type Envelope struct {
+	// Src is the sending node's address.
+	Src string
+	// SrcTupleID is the tuple's node-unique ID at the sender.
+	SrcTupleID uint64
+	// Raw is the wire encoding of the tuple.
+	Raw []byte
+}
+
+// SendFunc transmits an envelope toward dst. at is the node-local virtual
+// time of the send (task start plus accumulated processing cost).
+type SendFunc func(dst string, env Envelope, at float64)
+
+// Periodic is a registered periodic trigger; the driver owns scheduling.
+type Periodic struct {
+	// Strand is the rule strand the timer fires.
+	Strand *dataflow.Strand
+	node   *Node
+	fired  int
+}
+
+// Period returns the firing interval in seconds.
+func (p *Periodic) Period() float64 { return p.Strand.Trigger.Period }
+
+// Done reports whether a bounded periodic has exhausted its firings.
+func (p *Periodic) Done() bool {
+	c := p.Strand.Trigger.Count
+	return c > 0 && p.fired >= c
+}
+
+// Config configures a node.
+type Config struct {
+	// Addr is this node's address (location specifier value).
+	Addr string
+	// Seed seeds the node-local RNG (f_rand, periodic nonces).
+	Seed int64
+	// Send transmits envelopes; nil nodes drop remote tuples.
+	Send SendFunc
+	// Clock returns the current base virtual time in seconds. The
+	// driver sets it; defaults to a clock stuck at zero.
+	Clock func() float64
+	// OnWatch receives tuples of watched predicates.
+	OnWatch func(now float64, t tuple.Tuple)
+	// OnRuleError receives runtime rule errors.
+	OnRuleError func(now float64, ruleID string, err error)
+	// OnNewPeriodic is invoked when installing a program registers a
+	// new periodic trigger, so the driver can schedule it.
+	OnNewPeriodic func(p *Periodic)
+}
+
+type queued struct {
+	t        tuple.Tuple
+	isDelete bool
+	src      string // provenance for the tracer
+	srcID    uint64
+}
+
+// Node is one P2 node. Not safe for concurrent use: the driver serializes
+// Handle* calls.
+type Node struct {
+	cfg   Config
+	store *table.Store
+	rng   *rand.Rand
+
+	eventStrands map[string][]*dataflow.Strand
+	deltaStrands map[string][]*dataflow.Strand
+	periodics    []*Periodic
+
+	watched map[string]bool
+	tracer  *trace.Tracer
+	met     metrics.Node
+
+	nextTupleID  uint64
+	labelCounter int
+	micro        float64 // cost accumulated within the current task
+	queue        []queued
+
+	ruleTable  *table.Table
+	tableTable *table.Table
+}
+
+// NewNode creates a node.
+func NewNode(cfg Config) *Node {
+	if cfg.Clock == nil {
+		cfg.Clock = func() float64 { return 0 }
+	}
+	n := &Node{
+		cfg:          cfg,
+		store:        table.NewStore(),
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		eventStrands: make(map[string][]*dataflow.Strand),
+		deltaStrands: make(map[string][]*dataflow.Strand),
+		watched:      make(map[string]bool),
+	}
+	// Reflection tables (introspection model, §2.1).
+	n.ruleTable, _ = n.store.Materialize(table.Spec{
+		Name: RuleTableName, Lifetime: table.Infinity, MaxSize: table.Infinity,
+		Keys: []int{2, 3},
+	})
+	n.tableTable, _ = n.store.Materialize(table.Spec{
+		Name: TableTableName, Lifetime: table.Infinity, MaxSize: table.Infinity,
+		Keys: []int{2},
+	})
+	return n
+}
+
+// Addr returns the node's address.
+func (n *Node) Addr() string { return n.cfg.Addr }
+
+// Store exposes the node's tables (harness and test inspection; OverLog
+// rules access them through joins).
+func (n *Node) Store() *table.Store { return n.store }
+
+// Metrics returns a snapshot of the node's counters.
+func (n *Node) Metrics() metrics.Node { return n.met.Snapshot() }
+
+// Tracer returns the execution tracer, or nil when tracing is off.
+func (n *Node) Tracer() *trace.Tracer { return n.tracer }
+
+// Periodics returns all registered periodic triggers.
+func (n *Node) Periodics() []*Periodic { return n.periodics }
+
+// EnableTracing turns on execution logging: every strand's taps feed the
+// tracer, and ruleExec/tupleTable appear in the store.
+func (n *Node) EnableTracing(cfg trace.Config) error {
+	if n.tracer != nil {
+		return nil
+	}
+	tr, err := trace.New(n.store, n.cfg.Addr, cfg)
+	if err != nil {
+		return err
+	}
+	n.tracer = tr
+	// Event logging (§2.1): record insertions and removals on every
+	// application table, existing and future.
+	for _, name := range n.store.Names() {
+		n.subscribeLog(name)
+	}
+	return nil
+}
+
+// subscribeLog wires a table's change stream into the tracer's tupleLog.
+func (n *Node) subscribeLog(name string) {
+	tb := n.store.Get(name)
+	if tb == nil || n.tracer == nil {
+		return
+	}
+	n.tracer.LogEvent("watchTable", name, 0, n.Now()) // marks coverage start
+	tb.Subscribe(func(op table.Op, t tuple.Tuple) {
+		kind := "insert"
+		if op == table.OpDelete {
+			kind = "delete"
+		}
+		n.tracer.LogEvent(kind, t.Name, t.ID, n.Now())
+	})
+}
+
+// InstallProgram materializes the program's tables, registers watches,
+// and plans and installs its rules. Programs may be installed at any
+// point in the node's life (§1.3: monitoring queries are deployed
+// piecemeal on-line).
+func (n *Node) InstallProgram(prog *overlog.Program) error {
+	for _, m := range prog.Materializations() {
+		existed := n.store.Get(m.Name) != nil
+		tb, err := n.store.Materialize(table.Spec{
+			Name: m.Name, Lifetime: m.Lifetime, MaxSize: m.MaxSize, Keys: m.Keys,
+		})
+		if err != nil {
+			return fmt.Errorf("engine: %w", err)
+		}
+		_ = tb
+		if !existed && n.tracer != nil {
+			n.subscribeLog(m.Name)
+		}
+		row := tuple.New(TableTableName,
+			tuple.Str(n.cfg.Addr), tuple.Str(m.Name),
+			tuple.Float(m.Lifetime), tuple.Int(int64(m.MaxSize)))
+		if _, err := n.tableTable.Insert(row, n.cfg.Clock()); err != nil {
+			return err
+		}
+	}
+	env := planner.EnvFunc(func(name string) bool { return n.store.Get(name) != nil })
+	for _, st := range prog.Statements {
+		switch s := st.(type) {
+		case *overlog.Watch:
+			n.watched[s.Name] = true
+		case *overlog.Rule:
+			strands, err := planner.PlanRule(s, env, n.genLabel)
+			if err != nil {
+				return err
+			}
+			for _, str := range strands {
+				n.installStrand(str)
+			}
+		}
+	}
+	return nil
+}
+
+func (n *Node) genLabel() string {
+	n.labelCounter++
+	return fmt.Sprintf("rule_%d", n.labelCounter)
+}
+
+func (n *Node) installStrand(s *dataflow.Strand) {
+	switch s.Trigger.Kind {
+	case dataflow.TriggerEvent:
+		n.eventStrands[s.Trigger.Name] = append(n.eventStrands[s.Trigger.Name], s)
+	case dataflow.TriggerDelta:
+		n.deltaStrands[s.Trigger.Name] = append(n.deltaStrands[s.Trigger.Name], s)
+	case dataflow.TriggerPeriodic:
+		p := &Periodic{Strand: s, node: n}
+		n.periodics = append(n.periodics, p)
+		if n.cfg.OnNewPeriodic != nil {
+			n.cfg.OnNewPeriodic(p)
+		}
+	}
+	row := tuple.New(RuleTableName,
+		tuple.Str(n.cfg.Addr), tuple.Str(s.RuleID), tuple.Str(s.Trigger.Name),
+		tuple.Str(s.Source))
+	n.ruleTable.Insert(row, n.cfg.Clock()) //nolint:errcheck // name always matches
+}
+
+// ---- Driver entry points. Each runs one task and returns its cost. ----
+
+// HandleMessage processes one incoming network message.
+func (n *Node) HandleMessage(env Envelope) float64 {
+	n.met.MsgsRecv++
+	n.met.BytesRecv += int64(len(env.Raw))
+	t, _, err := tuple.Unmarshal(env.Raw)
+	if err != nil {
+		n.ruleError("net", fmt.Errorf("dropping undecodable message from %s: %w", env.Src, err))
+		return dataflow.CostMarshal
+	}
+	return n.runTask(queued{t: t, src: env.Src, srcID: env.SrcTupleID}, dataflow.CostMarshal)
+}
+
+// HandleTimer fires a periodic trigger.
+func (n *Node) HandleTimer(p *Periodic) float64 {
+	p.fired++
+	n.met.TimerFires++
+	trig := n.periodicTuple(p)
+	n.micro = 0
+	n.bill(dataflow.CostTimerFire)
+	// Periodic events are synthesized locally: give them IDs and run
+	// the strand directly (they are not routable tuples).
+	n.assignID(&trig, n.cfg.Addr, 0)
+	n.met.RuleFires++
+	p.Strand.Run(n, trig)
+	n.drain()
+	if n.tracer != nil {
+		n.tracer.TaskDone()
+	}
+	return n.micro
+}
+
+func (n *Node) periodicTuple(p *Periodic) tuple.Tuple {
+	trig := p.Strand.Trigger
+	fields := make([]tuple.Value, len(trig.FieldSlots))
+	fields[0] = tuple.Str(n.cfg.Addr)
+	fields[1] = tuple.ID(n.rng.Uint64())
+	fields[2] = tuple.Float(trig.Period)
+	if len(fields) >= 4 {
+		fields[3] = tuple.Int(int64(trig.Count))
+	}
+	return tuple.New("periodic", fields...)
+}
+
+// HandleLocal injects a tuple as if produced locally: seed state (node,
+// landmark rows) and operator-initiated events (orderingEvent, traceResp).
+func (n *Node) HandleLocal(t tuple.Tuple) float64 {
+	return n.runTask(queued{t: t, src: n.cfg.Addr}, 0)
+}
+
+// Sweep expires soft state; drivers call it about once per virtual
+// second.
+func (n *Node) Sweep() float64 {
+	n.micro = 0
+	n.store.ExpireAll(n.cfg.Clock())
+	n.bill(dataflow.CostTableOp)
+	return n.micro
+}
+
+// runTask drains the cascade triggered by the seed tuple.
+func (n *Node) runTask(seed queued, startCost float64) float64 {
+	n.micro = 0
+	n.bill(startCost)
+	n.queue = append(n.queue, seed)
+	n.drain()
+	if n.tracer != nil {
+		n.tracer.TaskDone()
+	}
+	return n.micro
+}
+
+func (n *Node) drain() {
+	for steps := 0; len(n.queue) > 0; steps++ {
+		if steps > maxCascade {
+			n.ruleError("engine", fmt.Errorf("cascade exceeded %d steps; dropping %d queued tuples", maxCascade, len(n.queue)))
+			n.queue = n.queue[:0]
+			return
+		}
+		q := n.queue[0]
+		n.queue = n.queue[1:]
+		n.processOne(q)
+	}
+}
+
+func (n *Node) processOne(q queued) {
+	n.met.TuplesProcessed++
+	now := n.Now()
+	if q.isDelete {
+		tbl := n.store.Get(q.t.Name)
+		if tbl == nil {
+			n.ruleError("engine", fmt.Errorf("delete from unmaterialized table %s", q.t.Name))
+			return
+		}
+		n.bill(dataflow.CostTableOp)
+		tbl.Delete(q.t, now)
+		return
+	}
+	t := q.t
+	if t.ID == 0 {
+		n.assignID(&t, q.src, q.srcID)
+	}
+	if n.watched[t.Name] && n.cfg.OnWatch != nil {
+		n.cfg.OnWatch(now, t)
+	}
+	if n.tracer != nil {
+		n.tracer.LogEvent("arrive", t.Name, t.ID, now)
+	}
+	if t.Name == InstallEventName {
+		n.handleInstallEvent(t)
+		return
+	}
+	if tbl := n.store.Get(t.Name); tbl != nil {
+		n.bill(dataflow.CostTableOp)
+		changed, err := tbl.Insert(t, now)
+		if err != nil {
+			n.ruleError("engine", err)
+			return
+		}
+		if changed {
+			for _, s := range n.deltaStrands[t.Name] {
+				n.met.RuleFires++
+				s.Run(n, t)
+			}
+		}
+		return
+	}
+	for _, s := range n.eventStrands[t.Name] {
+		n.met.RuleFires++
+		s.Run(n, t)
+	}
+}
+
+// handleInstallEvent implements the higher-order installation event:
+// installProgram@N(Source) parses Source as OverLog and installs it.
+func (n *Node) handleInstallEvent(t tuple.Tuple) {
+	if t.Arity() < 2 || t.Field(1).Kind() != tuple.KindStr {
+		n.ruleError("engine", fmt.Errorf("%s needs a program-text field", InstallEventName))
+		return
+	}
+	prog, err := overlog.Parse(t.Field(1).AsStr())
+	if err != nil {
+		n.ruleError("engine", fmt.Errorf("%s: %w", InstallEventName, err))
+		return
+	}
+	if err := n.InstallProgram(prog); err != nil {
+		n.ruleError("engine", err)
+	}
+}
+
+// assignID gives the tuple a node-unique ID and registers provenance with
+// the tracer. src/srcID describe where the tuple came from (self for
+// locally created tuples).
+func (n *Node) assignID(t *tuple.Tuple, src string, srcID uint64) uint64 {
+	n.nextTupleID++
+	id := n.nextTupleID
+	*t = t.WithID(id)
+	if src == "" || src == n.cfg.Addr {
+		src, srcID = n.cfg.Addr, id
+	}
+	if n.tracer != nil {
+		dst := t.Loc()
+		if dst == "" {
+			dst = n.cfg.Addr
+		}
+		n.tracer.Register(id, *t, src, srcID, dst)
+	}
+	return id
+}
+
+func (n *Node) bill(sec float64) {
+	n.micro += sec
+	n.met.BusySeconds += sec
+}
+
+func (n *Node) ruleError(ruleID string, err error) {
+	n.met.RuleErrors++
+	if n.cfg.OnRuleError != nil {
+		n.cfg.OnRuleError(n.Now(), ruleID, err)
+	}
+}
+
+// ---- dataflow.Context implementation ----
+
+// Now returns the node-local virtual time: task start plus processing
+// cost accumulated so far (the micro-clock that gives rule executions
+// non-zero durations, which the §3.2 profiler decomposes).
+func (n *Node) Now() float64 { return n.cfg.Clock() + n.micro }
+
+// Rand64 implements overlog.Context.
+func (n *Node) Rand64() uint64 { return n.rng.Uint64() }
+
+// LocalAddr implements overlog.Context.
+func (n *Node) LocalAddr() string { return n.cfg.Addr }
+
+// Table implements dataflow.Context.
+func (n *Node) Table(name string) *table.Table { return n.store.Get(name) }
+
+// Bill implements dataflow.Context.
+func (n *Node) Bill(sec float64) { n.bill(sec) }
+
+// RuleError implements dataflow.Context.
+func (n *Node) RuleError(ruleID string, err error) { n.ruleError(ruleID, err) }
+
+// TraceInput implements dataflow.Context.
+func (n *Node) TraceInput(s *dataflow.Strand, t tuple.Tuple) {
+	if n.tracer == nil {
+		return
+	}
+	n.bill(dataflow.CostTraceTap)
+	n.tracer.Input(s, t, n.Now())
+}
+
+// TracePrecond implements dataflow.Context.
+func (n *Node) TracePrecond(s *dataflow.Strand, stage int, t tuple.Tuple) {
+	if n.tracer == nil {
+		return
+	}
+	n.bill(dataflow.CostTraceTap)
+	n.tracer.Precond(s, stage, t, n.Now())
+}
+
+// TraceStageDone implements dataflow.Context.
+func (n *Node) TraceStageDone(s *dataflow.Strand, stage int) {
+	if n.tracer == nil {
+		return
+	}
+	n.tracer.StageDone(s, stage)
+}
+
+// EmitHead implements dataflow.Context: assign the head tuple its ID,
+// trace it, and route it (local queue, delete queue, or the network
+// postamble).
+func (n *Node) EmitHead(s *dataflow.Strand, t tuple.Tuple, isDelete bool) {
+	n.met.HeadsEmitted++
+	if isDelete {
+		if loc := t.Loc(); loc != "" && loc != n.cfg.Addr {
+			n.ruleError(s.RuleID, fmt.Errorf("delete rule head must be local, got %s", loc))
+			return
+		}
+		n.queue = append(n.queue, queued{t: t, isDelete: true})
+		return
+	}
+	id := n.assignID(&t, n.cfg.Addr, 0)
+	if n.tracer != nil {
+		n.bill(dataflow.CostTraceTap)
+		n.tracer.Output(s, t, n.Now())
+	}
+	dst := t.Loc()
+	if dst == "" {
+		n.ruleError(s.RuleID, fmt.Errorf("head tuple %s has no location specifier", t))
+		return
+	}
+	if dst == n.cfg.Addr {
+		n.queue = append(n.queue, queued{t: t, src: n.cfg.Addr, srcID: id})
+		return
+	}
+	// Network postamble: marshal and send.
+	n.bill(dataflow.CostMarshal)
+	raw := tuple.Marshal(nil, t)
+	n.met.MsgsSent++
+	n.met.BytesSent += int64(len(raw))
+	if n.cfg.Send == nil {
+		return
+	}
+	n.cfg.Send(dst, Envelope{Src: n.cfg.Addr, SrcTupleID: id, Raw: raw}, n.Now())
+}
+
+// NumStrands returns the number of installed rule strands (the size of
+// the node's dataflow graph, which the benchmark memory model uses).
+func (n *Node) NumStrands() int {
+	c := len(n.periodics)
+	for _, ss := range n.eventStrands {
+		c += len(ss)
+	}
+	for _, ss := range n.deltaStrands {
+		c += len(ss)
+	}
+	return c
+}

@@ -1,0 +1,63 @@
+// Package metrics accumulates the per-node measurements the paper's
+// evaluation reports: simulated CPU time, messages and bytes on the wire,
+// rule firings and tuple counts. The benchmark harness samples these
+// counters to produce the CPU-utilization, message-count and live-tuple
+// series of Figures 4-7.
+//
+// CPU is a cost model, not an OS measurement: every dataflow operation
+// bills a calibrated number of simulated seconds (see
+// dataflow.Cost* constants and DESIGN.md §4). Utilization is busy time
+// over elapsed virtual time.
+package metrics
+
+// Node holds monotonically increasing counters for one node.
+type Node struct {
+	// BusySeconds is accumulated simulated CPU time.
+	BusySeconds float64
+	// MsgsSent / MsgsRecv count network messages (tuples crossing
+	// nodes).
+	MsgsSent int64
+	MsgsRecv int64
+	// BytesSent / BytesRecv count marshaled payload bytes.
+	BytesSent int64
+	BytesRecv int64
+	// TuplesProcessed counts tuples drained from the node's queue
+	// (events, inserts and deletes).
+	TuplesProcessed int64
+	// RuleFires counts strand activations.
+	RuleFires int64
+	// HeadsEmitted counts head tuples produced.
+	HeadsEmitted int64
+	// RuleErrors counts runtime rule evaluation errors.
+	RuleErrors int64
+	// TimerFires counts periodic trigger firings.
+	TimerFires int64
+}
+
+// Snapshot returns a copy of the counters.
+func (n *Node) Snapshot() Node { return *n }
+
+// Sub returns the counter deltas n - prev (for windowed measurements).
+func (n Node) Sub(prev Node) Node {
+	return Node{
+		BusySeconds:     n.BusySeconds - prev.BusySeconds,
+		MsgsSent:        n.MsgsSent - prev.MsgsSent,
+		MsgsRecv:        n.MsgsRecv - prev.MsgsRecv,
+		BytesSent:       n.BytesSent - prev.BytesSent,
+		BytesRecv:       n.BytesRecv - prev.BytesRecv,
+		TuplesProcessed: n.TuplesProcessed - prev.TuplesProcessed,
+		RuleFires:       n.RuleFires - prev.RuleFires,
+		HeadsEmitted:    n.HeadsEmitted - prev.HeadsEmitted,
+		RuleErrors:      n.RuleErrors - prev.RuleErrors,
+		TimerFires:      n.TimerFires - prev.TimerFires,
+	}
+}
+
+// CPUPercent converts a windowed busy time into utilization of the
+// window, in percent.
+func CPUPercent(busySeconds, windowSeconds float64) float64 {
+	if windowSeconds <= 0 {
+		return 0
+	}
+	return 100 * busySeconds / windowSeconds
+}

@@ -1,0 +1,35 @@
+package metrics
+
+import "testing"
+
+func TestSubAndSnapshot(t *testing.T) {
+	var n Node
+	n.BusySeconds = 1.5
+	n.MsgsSent = 10
+	n.TuplesProcessed = 100
+	prev := n.Snapshot()
+	n.BusySeconds = 2.0
+	n.MsgsSent = 25
+	n.TuplesProcessed = 140
+	n.RuleFires = 7
+	d := n.Sub(prev)
+	if d.BusySeconds != 0.5 || d.MsgsSent != 15 || d.TuplesProcessed != 40 || d.RuleFires != 7 {
+		t.Errorf("delta = %+v", d)
+	}
+	// Snapshot is a copy.
+	if prev.MsgsSent != 10 {
+		t.Error("snapshot mutated")
+	}
+}
+
+func TestCPUPercent(t *testing.T) {
+	if got := CPUPercent(0.5, 100); got != 0.5 {
+		t.Errorf("CPUPercent = %v", got)
+	}
+	if got := CPUPercent(1, 0); got != 0 {
+		t.Errorf("zero window must yield 0, got %v", got)
+	}
+	if got := CPUPercent(2, 2); got != 100 {
+		t.Errorf("full utilization = %v", got)
+	}
+}

@@ -1,0 +1,52 @@
+package monitor
+
+import (
+	"fmt"
+
+	"p2go/internal/overlog"
+)
+
+// ConsistencyRules builds the proactive routing-consistency detector of
+// §3.1.4 (rules cs1-cs12): every probePeriod seconds a node picks a
+// random key, asks each of its distinct routing neighbors to resolve it,
+// clusters the answers, and reports the consistency metric — the largest
+// agreeing cluster over the number of lookups issued (1.0 = perfectly
+// consistent). Probes are tallied 20 s after issue; cs12 raises an alarm
+// below 0.5.
+//
+// Two small adaptations from the paper's listing: the table keys are
+// per-probe/per-request (the paper's keys(1) would keep one row per
+// node), and the metric divides as floating point (RespCount and
+// LookupCount are integers).
+func ConsistencyRules(probePeriod float64) string {
+	return fmt.Sprintf(`
+materialize(conLookupTable, 100, 400, keys(2,3)).
+materialize(conRespTable, 100, 400, keys(2,3)).
+materialize(respCluster, 100, 400, keys(2,3)).
+materialize(maxCluster, 100, 400, keys(2)).
+materialize(lookupCluster, 100, 400, keys(2)).
+
+cs1 conProbe@NAddr(ProbeID, K, T) :- periodic@NAddr(ProbeID, %g), K := f_randID(), T := f_now().
+cs2 conLookup@NAddr(ProbeID, K, FAddr, ReqID, T) :- conProbe@NAddr(ProbeID, K, T), uniqueFinger@NAddr(FAddr, FID), ReqID := f_rand().
+cs3 conLookupTable@NAddr(ProbeID, ReqID, T) :- conLookup@NAddr(ProbeID, K, SrcAddr, ReqID, T).
+cs4 lookup@SrcAddr(K, NAddr, ReqID) :- conLookup@NAddr(ProbeID, K, SrcAddr, ReqID, T).
+cs5 conRespTable@NAddr(ProbeID, ReqID, SAddr) :- lookupResults@NAddr(K, SID, SAddr, ReqID, Responder), conLookupTable@NAddr(ProbeID, ReqID, T).
+cs6 respCluster@NAddr(ProbeID, SAddr, count<*>) :- conRespTable@NAddr(ProbeID, ReqID, SAddr).
+cs7 maxCluster@NAddr(ProbeID, max<Count>) :- respCluster@NAddr(ProbeID, SAddr, Count).
+cs8 lookupCluster@NAddr(ProbeID, T, count<*>) :- conLookupTable@NAddr(ProbeID, ReqID, T).
+cs9 consistency@NAddr(ProbeID, Cons) :- periodic@NAddr(E, 20), lookupCluster@NAddr(ProbeID, T, LookupCount), T < f_now() - 20, maxCluster@NAddr(ProbeID, RespCount), Cons := (RespCount * 1.0) / LookupCount.
+cs10 delete lookupCluster@NAddr(ProbeID, T, Count) :- consistency@NAddr(ProbeID, Consistency).
+cs11 delete conLookupTable@NAddr(ProbeID, ReqID, T) :- consistency@NAddr(ProbeID, Consistency), conLookupTable@NAddr(ProbeID, ReqID, T).
+cs12 consAlarm@NAddr(PrID) :- consistency@NAddr(PrID, Cons), Cons < 0.5.
+
+watch(consistency).
+watch(consAlarm).
+`, probePeriod)
+}
+
+// ConsistencyProgram parses the consistency probe with the given period.
+// The probe runs only on nodes it is installed on; the paper's Figure 6
+// uses a single probing node (the measured 21st).
+func ConsistencyProgram(probePeriod float64) *overlog.Program {
+	return overlog.MustParse(ConsistencyRules(probePeriod))
+}

@@ -1,0 +1,60 @@
+package monitor
+
+import (
+	"p2go/internal/engine"
+	"p2go/internal/trace"
+	"p2go/internal/tuple"
+)
+
+// RuleExecRow is a decoded ruleExec reflection row: one causal link
+// between a cause tuple (an input event or a precondition) and the
+// effect tuple a rule execution produced (§2.1.1).
+type RuleExecRow struct {
+	Node    string
+	Rule    string
+	In      uint64
+	Out     uint64
+	InT     float64
+	OutT    float64
+	IsEvent bool
+}
+
+// RuleExecRows reads a node's ruleExec table (empty when tracing is
+// off).
+func RuleExecRows(n *engine.Node) []RuleExecRow {
+	tb := n.Store().Get(trace.RuleExecTable)
+	if tb == nil {
+		return nil
+	}
+	var rows []RuleExecRow
+	tb.Scan(n.Now(), func(t tuple.Tuple) {
+		if t.Arity() != 7 {
+			return
+		}
+		rows = append(rows, RuleExecRow{
+			Node:    t.Field(0).AsStr(),
+			Rule:    t.Field(1).AsStr(),
+			In:      t.Field(2).AsID(),
+			Out:     t.Field(3).AsID(),
+			InT:     t.Field(4).AsFloat(),
+			OutT:    t.Field(5).AsFloat(),
+			IsEvent: t.Field(6).AsBool(),
+		})
+	})
+	return rows
+}
+
+// ArrivalTime finds when the tuple with the given local ID was consumed
+// as a rule input on node n (the earliest InT among event edges), which
+// is the observation time a traceResp event should carry. The second
+// result is false when no rule consumed the tuple.
+func ArrivalTime(n *engine.Node, tupleID uint64) (float64, bool) {
+	found := false
+	at := 0.0
+	for _, r := range RuleExecRows(n) {
+		if r.IsEvent && r.In == tupleID && (!found || r.InT < at) {
+			at, found = r.InT, true
+		}
+	}
+	return at, found
+}

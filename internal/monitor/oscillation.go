@@ -1,0 +1,55 @@
+package monitor
+
+import "p2go/internal/overlog"
+
+// OscillationRules are the state-oscillation detectors of §3.1.3, at the
+// paper's three granularities.
+//
+// Single oscillation (os1-os2): a successor-insertion message (sendPred
+// or returnSucc) carrying a recently deceased neighbor — one found in
+// faultyNode — signals one oscillation of the recycled dead neighbor
+// problem.
+//
+// Repeat oscillations (os3-os4): oscillations are stored for 120 s; every
+// 60 s the count per offender is taken, and three or more within the
+// window declare a repeat oscillator.
+//
+// Collaborative detection (os5-os9): repeat-oscillator observations are
+// shared with the ring neighborhood (successors and predecessor); an
+// offender reported by more than three distinct neighbors is declared
+// chaotic.
+const OscillationRules = `
+materialize(oscill, 120, infinity, keys(2,3)).
+materialize(nbrOscill, 120, infinity, keys(2,3)).
+materialize(monFaulty, 120, infinity, keys(2)).
+
+/* The detector keeps its own 120 s memory of declared deaths (os0): a
+   buggy implementation may forget its faultyNode rows — indeed the
+   §3.1.3 recycled-dead-neighbor bug IS such forgetting — and a monitor
+   that joined the application's table would go blind exactly when the
+   bug manifests. */
+os0 monFaulty@NAddr(FAddr, T) :- faultyNode@NAddr(FAddr, T).
+
+os1 oscill@NAddr(SAddr, T) :- sendPred@NAddr(SID, SAddr), monFaulty@NAddr(SAddr, T1), T := f_now().
+os2 oscill@NAddr(SAddr, T) :- returnSucc@NAddr(SID, SAddr), monFaulty@NAddr(SAddr, T1), T := f_now().
+
+os3 countOscill@NAddr(OscillAddr, count<*>) :- periodic@NAddr(E, 60), oscill@NAddr(OscillAddr, Time).
+os4 repeatOscill@NAddr(OscillAddr) :- countOscill@NAddr(OscillAddr, Count), Count >= 3.
+
+os5 nbrOscill@NAddr(OscillAddr, NAddr) :- repeatOscill@NAddr(OscillAddr).
+os6 nbrOscill@SAddr(OscillAddr, NAddr) :- repeatOscill@NAddr(OscillAddr), succ@NAddr(SID, SAddr), SAddr != NAddr.
+os7 nbrOscill@PAddr(OscillAddr, NAddr) :- repeatOscill@NAddr(OscillAddr), pred@NAddr(PID, PAddr), PAddr != "-".
+os8 nbrOscillCount@NAddr(OscillAddr, count<*>) :- nbrOscill@NAddr(OscillAddr, ReporterAddr).
+os9 chaotic@NAddr(OscillAddr) :- nbrOscillCount@NAddr(OscillAddr, Count), Count > 3.
+
+watch(oscill).
+watch(repeatOscill).
+watch(chaotic).
+`
+
+// OscillationProgram parses os1-os9. The nbrOscill table is keyed by
+// (offender, reporter) exactly as the paper's materialize statement
+// specifies (keys(2,3)), so os8 counts distinct reporters.
+func OscillationProgram() *overlog.Program {
+	return overlog.MustParse(OscillationRules)
+}

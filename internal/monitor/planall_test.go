@@ -1,0 +1,54 @@
+package monitor
+
+import (
+	"testing"
+
+	"p2go/internal/chainrep"
+	"p2go/internal/chord"
+	"p2go/internal/engine"
+	"p2go/internal/overlog"
+	"p2go/internal/trace"
+)
+
+// TestAllProgramsPlan installs every OverLog program in the repository
+// on a scratch node: any planner regression (e.g. new static checks)
+// surfaces here immediately.
+func TestAllProgramsPlan(t *testing.T) {
+	n := engine.NewNode(engine.Config{Addr: "x", Seed: 1})
+	if err := n.EnableTracing(trace.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	install := func(name string, err error) {
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	install("chord", n.InstallProgram(chord.Program()))
+	install("chord-buggy-extra", nil) // buggy shares tables; plan on a fresh node
+	n2 := engine.NewNode(engine.Config{Addr: "y", Seed: 1})
+	install("chord-buggy", n2.InstallProgram(chord.BuggyProgram()))
+	install("ring-probe", n.InstallProgram(RingProbeProgram(10)))
+	install("ring-passive", n.InstallProgram(RingPassiveProgram()))
+	install("ordering-opportunistic", n.InstallProgram(OrderingOpportunisticProgram()))
+	install("ordering-traversal", n.InstallProgram(OrderingTraversalProgram()))
+	install("oscillation", n.InstallProgram(OscillationProgram()))
+	install("consistency", n.InstallProgram(ConsistencyProgram(20)))
+	install("snapshot", n.InstallProgram(SnapshotProgram()))
+	install("snapshot-initiator", n.InstallProgram(SnapshotInitiatorProgram(30)))
+	install("snapshot-lookups", n.InstallProgram(SnapshotLookupProgram()))
+	install("snapshot-consistency", n.InstallProgram(SnapshotConsistencyProgram(20)))
+	install("profiler", n.InstallProgram(mustProgM(t, ProfilerRules("cs2"))))
+	install("lineage", n.InstallProgram(mustProgM(t, LineageRules(10))))
+	n3 := engine.NewNode(engine.Config{Addr: "z", Seed: 1})
+	install("chainrep", n3.InstallProgram(chainrep.Program()))
+	install("chainrep-monitors", n3.InstallProgram(chainrep.MonitorProgram()))
+}
+
+func mustProgM(t *testing.T, src string) *overlog.Program {
+	t.Helper()
+	p, err := overlog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

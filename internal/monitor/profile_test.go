@@ -1,0 +1,127 @@
+package monitor
+
+import (
+	"testing"
+
+	"p2go/internal/chord"
+	"p2go/internal/overlog"
+	"p2go/internal/trace"
+)
+
+// TestProfilerDecomposesLookupLatency is the §3.2 scenario end to end:
+// with execution logging on, the consistency probe issues lookups; the
+// operator picks a traced response, injects traceResp, and the ep1-ep6
+// rules walk the execution graph backwards across nodes, decomposing the
+// end-to-end latency into rule, network, and local dataflow time.
+func TestProfilerDecomposesLookupLatency(t *testing.T) {
+	tcfg := trace.DefaultConfig()
+	tcfg.RuleExecTTL = 300 // keep enough history for the test
+	tcfg.RuleExecMax = 20000
+	r, err := chord.NewRing(chord.RingConfig{
+		N: 8, Seed: 77, Tracing: &tcfg,
+		ExtraPrograms: []*overlog.Program{
+			overlog.MustParse(ProfilerRules("cs2")),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(300)
+	if bad := r.CheckRing(r.Addrs); len(bad) > 0 {
+		t.Fatalf("ring not converged: %v", bad)
+	}
+	prober := r.Node("n8")
+	if err := prober.InstallProgram(ConsistencyProgram(15)); err != nil {
+		t.Fatal(err)
+	}
+	r.Run(40) // at least two probes issue and respond
+
+	// Pick responses that belong to consistency probes: the inputs of
+	// cs5 executions (exactly what a forensic operator would trace
+	// after a consAlarm). Plain finger-fix lookup responses also appear
+	// in tupleTable, but their chains end at a periodic event rather
+	// than cs2.
+	var ids []uint64
+	for _, row := range RuleExecRows(prober) {
+		if row.Rule == "cs5" && row.IsEvent {
+			ids = append(ids, row.In)
+		}
+	}
+	if len(ids) == 0 {
+		t.Fatal("no traced consistency lookup responses on the prober")
+	}
+	if len(ids) > 4 {
+		ids = ids[:4]
+	}
+	reported := 0
+	for _, id := range ids {
+		at, ok := ArrivalTime(prober, id)
+		if !ok {
+			continue
+		}
+		if err := r.Net.Inject("n8", TraceRespEvent("n8", id, at)); err != nil {
+			t.Fatal(err)
+		}
+		r.Run(5)
+		for _, w := range r.Watched {
+			if w.T.Name != "report" {
+				continue
+			}
+			rep, err := ParseReport(w.T)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.TupleID != id {
+				continue
+			}
+			reported++
+			if rep.RuleT <= 0 {
+				t.Errorf("report %d: RuleT = %v, want > 0", id, rep.RuleT)
+			}
+			if rep.NetT < 0.005 {
+				// Lookups go to remote fingers: at least one
+				// network crossing (min delay 5 ms each way).
+				t.Errorf("report %d: NetT = %v, want >= one crossing", id, rep.NetT)
+			}
+			if rep.LocalT < 0 {
+				t.Errorf("report %d: LocalT = %v, want >= 0", id, rep.LocalT)
+			}
+			if rep.Total() <= 0 || rep.Total() > 5 {
+				t.Errorf("report %d: total latency %v implausible", id, rep.Total())
+			}
+		}
+	}
+	if reported == 0 {
+		t.Fatalf("no profiler reports for %d traced responses (errors: %v)",
+			len(ids), r.Errors)
+	}
+}
+
+// TestProfilerStopsSilentlyWithoutChain: tracing a tuple with no
+// recorded producing rule (an injected event) yields no report and no
+// errors — the traversal just ends, as the paper's design implies.
+func TestProfilerStopsSilentlyWithoutChain(t *testing.T) {
+	tcfg := trace.DefaultConfig()
+	r, err := chord.NewRing(chord.RingConfig{
+		N: 2, Seed: 3, Tracing: &tcfg,
+		ExtraPrograms: []*overlog.Program{
+			overlog.MustParse(ProfilerRules("cs2")),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(30)
+	if err := r.Net.Inject("n1", TraceRespEvent("n1", 999999, 10)); err != nil {
+		t.Fatal(err)
+	}
+	r.Run(5)
+	for _, w := range r.Watched {
+		if w.T.Name == "report" {
+			t.Errorf("unexpected report: %v", w.T)
+		}
+	}
+	if len(r.Errors) > 0 {
+		t.Errorf("rule errors: %v", r.Errors)
+	}
+}

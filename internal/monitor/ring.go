@@ -1,0 +1,107 @@
+// Package monitor implements every monitoring, debugging and forensics
+// application of §3 of the paper as installable OverLog programs over the
+// Chord substrate:
+//
+//   - §3.1.1 ring well-formedness: active probes (rp1-rp3) and passive
+//     checks (rp4);
+//   - §3.1.2 ring ID ordering: opportunistic checks (ri1) and the
+//     token-passing wrap-around traversal (ri2-ri6);
+//   - §3.1.3 state oscillation detectors: single (os1-os2), repeated
+//     (os3-os4), and collaborative (os5-os9);
+//   - §3.1.4 proactive routing-consistency probes (cs1-cs12);
+//   - §3.2 execution profiling over ruleExec/tupleTable (ep1-ep6);
+//   - §3.3 Chandy-Lamport consistent snapshots (bp1-bp2, sr1-sr16) and
+//     lookups over snapshots (l1s-l3s, cs4s/cs5s).
+//
+// Each program is deployable piecemeal on a running node via
+// engine.Node.InstallProgram — the paper's on-line "add-on" model.
+package monitor
+
+import (
+	"fmt"
+
+	"p2go/internal/overlog"
+)
+
+// RingProbeRules are the active ring well-formedness probes of §3.1.1
+// (rules rp1-rp3): each node periodically asks its predecessor for the
+// predecessor's immediate successor and raises inconsistentPred when the
+// answer is not the node itself. A symmetric pair (rs1-rs3) checks the
+// successor's predecessor the same way ("Similar rules can also check
+// that a node is its immediate successor's predecessor").
+//
+// The probe period is parameterized; the paper calls it tProbe.
+func RingProbeRules(tProbe float64) string {
+	return fmt.Sprintf(`
+rp1 reqBestSucc@PAddr(NAddr) :- periodic@NAddr(E, %[1]g), pred@NAddr(PID, PAddr), PAddr != "-".
+rp2 respBestSucc@ReqAddr(NAddr, SAddr) :- reqBestSucc@NAddr(ReqAddr), bestSucc@NAddr(SID, SAddr).
+rp3 inconsistentPred@NAddr(PAddr) :- respBestSucc@NAddr(PAddr, Successor), pred@NAddr(PID, PAddr), Successor != NAddr.
+
+rs1 reqBestPred@SAddr(NAddr) :- periodic@NAddr(E, %[1]g), bestSucc@NAddr(SID, SAddr), SAddr != NAddr.
+rs2 respBestPred@ReqAddr(NAddr, PAddr) :- reqBestPred@NAddr(ReqAddr), pred@NAddr(PID, PAddr).
+rs3 inconsistentSucc@NAddr(SAddr) :- respBestPred@NAddr(SAddr, Predecessor), bestSucc@NAddr(SID, SAddr), Predecessor != NAddr.
+
+watch(inconsistentPred).
+watch(inconsistentSucc).
+`, tProbe)
+}
+
+// RingPassiveRules is the passive variant (rule rp4): piggy-back on
+// Chord's own stabilizeRequest semantics — the sender of such a request
+// believes the recipient is its immediate successor, so the recipient
+// must know the sender as its predecessor. Detection happens at the
+// stabilization rate rather than a chosen probe rate (§3.1.1).
+const RingPassiveRules = `
+rp4 inconsistentPred@NAddr(SomeAddr) :- stabilizeRequest@NAddr(SomeAddr), pred@NAddr(PID, PAddr), SomeAddr != PAddr.
+watch(inconsistentPred).
+`
+
+// RingProbeProgram parses the active ring checker.
+func RingProbeProgram(tProbe float64) *overlog.Program {
+	return overlog.MustParse(RingProbeRules(tProbe))
+}
+
+// RingPassiveProgram parses the passive ring checker.
+func RingPassiveProgram() *overlog.Program {
+	return overlog.MustParse(RingPassiveRules)
+}
+
+// OrderingOpportunisticRules is the opportunistic ID-ordering check of
+// §3.1.2 (rule ri1): flag any lookup response whose result node ID falls
+// strictly between the local predecessor and successor IDs — such a node
+// should have been one of our ring neighbors.
+const OrderingOpportunisticRules = `
+ri1 closerID@NAddr(ResltNodeID, ResltNodeAddr) :- lookupResults@NAddr(Key, ResltNodeID, ResltNodeAddr, ReqNo, RespAddr), pred@NAddr(PID, PAddr), bestSucc@NAddr(SID, SAddr), ResltNodeAddr != NAddr, ResltNodeID in (PID, SID), PAddr != "-".
+watch(closerID).
+`
+
+// OrderingOpportunisticProgram parses ri1.
+func OrderingOpportunisticProgram() *overlog.Program {
+	return overlog.MustParse(OrderingOpportunisticRules)
+}
+
+// OrderingTraversalRules implement the token-passing full-ring traversal
+// of §3.1.2 (rules ri2-ri6): starting from an orderingEvent at the
+// initiator, a token walks immediate successors counting ID
+// wrap-arounds; a completed traversal with a wrap count different from
+// one reports orderingProblem to the initiator.
+const OrderingTraversalRules = `
+ri2 ordering@NAddr(E, NAddr, NID, 0) :- orderingEvent@NAddr(E), node@NAddr(NID).
+ri3 countWraps@NAddr(SAddr, E, SrcAddr, SID, Wraps) :- ordering@NAddr(E, SrcAddr, MyID, Wraps), bestSucc@NAddr(SID, SAddr), node@NAddr(NID), NID < SID.
+ri4 countWraps@NAddr(SAddr, E, SrcAddr, SID, Wraps + 1) :- ordering@NAddr(E, SrcAddr, MyID, Wraps), bestSucc@NAddr(SID, SAddr), node@NAddr(NID), NID >= SID.
+ri5 ordering@SAddr(E, SrcAddr, SID, Wraps) :- countWraps@NAddr(SAddr, E, SrcAddr, SID, Wraps), SAddr != SrcAddr.
+ri6 orderingProblem@SrcAddr(E, SrcAddr, SID, Wraps) :- countWraps@NAddr(SAddr, E, SrcAddr, SID, Wraps), SAddr == SrcAddr, Wraps != 1.
+ri7 orderingOK@SrcAddr(E, Wraps) :- countWraps@NAddr(SAddr, E, SrcAddr, SID, Wraps), SAddr == SrcAddr, Wraps == 1.
+watch(orderingProblem).
+watch(orderingOK).
+`
+
+// OrderingTraversalProgram parses ri2-ri7. Note two adaptations from the
+// paper's listing, which compares the token-carried MyID against the
+// successor ID: the wrap test needs the *local* node's ID (the paper's
+// ri3/ri4 never bind MyID to node), and ri6 must address the initiator
+// (SrcAddr); we also add ri7 reporting healthy completions so liveness
+// of the traversal itself is observable.
+func OrderingTraversalProgram() *overlog.Program {
+	return overlog.MustParse(OrderingTraversalRules)
+}

@@ -1,0 +1,229 @@
+package monitor
+
+import (
+	"fmt"
+
+	"p2go/internal/engine"
+	"p2go/internal/overlog"
+	"p2go/internal/tuple"
+)
+
+// Chandy-Lamport consistent snapshots over P2 Chord (§3.3).
+//
+// The algorithm follows the paper: an initiator snaps its state and sends
+// marker tuples over all outgoing links (the pingNode set); a node
+// receiving a marker for an unseen snapshot snaps its own state, forwards
+// markers, and records messages arriving on each incoming link (the
+// backPointer set, built from observed pingReq senders, rules bp1-bp2)
+// until a marker arrives on that link. Termination is local: when every
+// incoming channel is marked Done, the node's snapState becomes "Done".
+//
+// Adaptations from the paper's listing, documented in DESIGN.md:
+//
+//   - snap events carry the marker's sender ("-" for self-initiated) so
+//     that channel recording can exclude the link the marker arrived on
+//     (the paper's sr10/sr11 interleaving is order-sensitive);
+//   - channelState is normalized to (NAddr, Remote, SnapID, State) —
+//     the paper's listing uses both 4- and 3-argument forms;
+//   - messages between non-neighbors (lookup responses) piggy-back the
+//     sender's snapshot ID on a companion snapMark event rather than
+//     widening the base Chord lookupResults schema (sr14's effect);
+//   - message recording (the paper's sr15/sr16 examples) covers the
+//     sender-identifying Chord messages (pingReq, stabilizeRequest,
+//     notify) in a single chanRec table tagged with the message type.
+//
+// As in the paper, correctness assumes snapshots finish within the
+// initiation period and the overlay is stable during a snapshot; the
+// simulated network provides the FIFO channels the algorithm requires.
+
+// SnapshotRules are installed on EVERY node (the initiator additionally
+// installs SnapshotInitiatorRules).
+const SnapshotRules = `
+materialize(backPointer, 30, 64, keys(2)).
+materialize(numBackPointers, 30, 1, keys(1)).
+materialize(snapState, 100, 100, keys(1,2)).
+materialize(currentSnap, infinity, 1, keys(1)).
+materialize(snapBestSucc, 100, 50, keys(1,2)).
+materialize(snapPred, 100, 50, keys(1,2)).
+materialize(snapFingers, 100, 1600, keys(1,2,3)).
+materialize(snapUniqFingers, 100, 1600, keys(1,2,3)).
+materialize(channelState, 100, 1600, keys(2,3)).
+materialize(chanRec, 100, 1600, keys(2,3,4,5)).
+
+/* Incoming-link discovery (bp1-bp2): whoever pings us has us in its
+   routing state, i.e. owns a link toward us. */
+bp1 backPointer@NAddr(RemoteAddr) :- pingReq@NAddr(RemoteAddr, E).
+bp2 numBackPointers@NAddr(count<*>) :- backPointer@NAddr(RemoteAddr).
+bp3 numBackPointers@NAddr(count<*>) :- periodic@NAddr(E, 5), backPointer@NAddr(RemoteAddr).
+
+/* Snapshot start: record local state, remember the current snapshot,
+   send markers on all outgoing links. snapState keeps one row per
+   snapshot ID (not just the latest): sr8's seen-before count must treat
+   a late marker for an old snapshot as already seen, otherwise two
+   out-of-phase nodes regress each other and ping-pong marker floods —
+   the failure mode behind assumption (a) in the paper. */
+sr2 snapState@NAddr(I, "Snapping") :- snap@NAddr(I, Src).
+sr3 currentSnap@NAddr(I) :- snap@NAddr(I, Src).
+sr4 snapBestSucc@NAddr(I, SAddr, SID) :- snap@NAddr(I, Src), bestSucc@NAddr(SID, SAddr).
+sr5 snapFingers@NAddr(I, FPos, FID, FAddr) :- snap@NAddr(I, Src), finger@NAddr(FPos, FID, FAddr).
+sr5b snapUniqFingers@NAddr(I, FAddr, FID) :- snap@NAddr(I, Src), uniqueFinger@NAddr(FAddr, FID).
+sr6 snapPred@NAddr(I, PAddr, PID) :- snap@NAddr(I, Src), pred@NAddr(PID, PAddr).
+sr7 marker@RemoteAddr(NAddr, I) :- snap@NAddr(I, Src), pingNode@NAddr(RemoteAddr), RemoteAddr != NAddr.
+
+/* Marker handling (sr8-sr11): haveSnap counts whether the marker's
+   snapshot is already the node's current one (0 = new, 1 = seen). */
+sr8 haveSnap@NAddr(Src, I, count<*>) :- marker@NAddr(Src, I), snapState@NAddr(I2, State), I2 == I.
+sr9 snap@NAddr(I, Src) :- haveSnap@NAddr(Src, I, 0).
+sr10 channelState@NAddr(Remote, I, "Start") :- snap@NAddr(I, Src), backPointer@NAddr(Remote), Remote != Src.
+sr10b channelState@NAddr(Src, I, "Done") :- haveSnap@NAddr(Src, I, 0), backPointer@NAddr(Src).
+sr11 channelState@NAddr(Src, I, "Done") :- haveSnap@NAddr(Src, I, C), C > 0.
+
+/* Termination (sr12-sr13): all incoming channels done. */
+sr12 doneChannels@NAddr(I, count<*>) :- channelState@NAddr(Remote, I, "Done").
+sr13 snapState@NAddr(I, "Done") :- doneChannels@NAddr(I, C), numBackPointers@NAddr(C2), C == C2, snapState@NAddr(I, "Snapping").
+
+/* Non-neighbor messages (sr14): every lookup answer or forward is
+   accompanied by the handling node's snapshot ID; a newer ID acts as a
+   marker, an older one is recorded if the channel is recording. */
+sm1 snapMark@ReqAddr(NAddr, I) :- lookup@NAddr(K, ReqAddr, E), currentSnap@NAddr(I), ReqAddr != NAddr.
+sr14 snap@NAddr(I, "-") :- snapMark@NAddr(RespAddr, I), currentSnap@NAddr(MyI), I > MyI.
+sr14b chanRec@NAddr(I, RespAddr, "lookupResults", T) :- snapMark@NAddr(RespAddr, SrcI), currentSnap@NAddr(I), SrcI < I, channelState@NAddr(RespAddr, I, "Start"), T := f_now().
+
+/* Channel message recording (sr15-style) for sender-identifying
+   messages. */
+sr15 chanRec@NAddr(I, Src, "pingReq", T) :- pingReq@NAddr(Src, E), currentSnap@NAddr(I), channelState@NAddr(Src, I, "Start"), T := f_now().
+sr16 chanRec@NAddr(I, Src, "stabilizeRequest", T) :- stabilizeRequest@NAddr(Src), currentSnap@NAddr(I), channelState@NAddr(Src, I, "Start"), T := f_now().
+sr17 chanRec@NAddr(I, Src, "notify", T) :- notify@NAddr(Src, NID), currentSnap@NAddr(I), channelState@NAddr(Src, I, "Start"), T := f_now().
+
+watch(snapDone).
+sd1 snapDone@NAddr(I) :- snapState@NAddr(I, "Done").
+`
+
+// SnapshotInitiatorRules add the periodic initiator (sr1): every
+// tSnapFreq seconds the snapshot ID advances and a new snapshot begins.
+func SnapshotInitiatorRules(tSnapFreq float64) string {
+	return fmt.Sprintf(`
+sr1a maxSnap@NAddr(max<I>) :- periodic@NAddr(E, %g), snapState@NAddr(I, State).
+sr1b snap@NAddr(I + 1, "-") :- maxSnap@NAddr(I).
+`, tSnapFreq)
+}
+
+// SnapshotProgram parses the common snapshot rules.
+func SnapshotProgram() *overlog.Program { return overlog.MustParse(SnapshotRules) }
+
+// SnapshotInitiatorProgram parses the initiator add-on.
+func SnapshotInitiatorProgram(tSnapFreq float64) *overlog.Program {
+	return overlog.MustParse(SnapshotInitiatorRules(tSnapFreq))
+}
+
+// InstallSnapshot installs the snapshot machinery on a node and seeds
+// snapState/currentSnap with snapshot 0 (completed). If tSnapFreq > 0
+// the node also becomes a periodic initiator.
+func InstallSnapshot(n *engine.Node, tSnapFreq float64) error {
+	if err := n.InstallProgram(SnapshotProgram()); err != nil {
+		return fmt.Errorf("monitor: snapshot: %w", err)
+	}
+	if tSnapFreq > 0 {
+		if err := n.InstallProgram(SnapshotInitiatorProgram(tSnapFreq)); err != nil {
+			return fmt.Errorf("monitor: snapshot initiator: %w", err)
+		}
+	}
+	addr := n.Addr()
+	n.HandleLocal(tuple.New("snapState", tuple.Str(addr), tuple.Int(0), tuple.Str("Done")))
+	n.HandleLocal(tuple.New("currentSnap", tuple.Str(addr), tuple.Int(0)))
+	return nil
+}
+
+// SnapshotLookupRules are the l1s-l3s rules of §3.3: Chord lookups that
+// run over a recorded snapshot (snapBestSucc, snapUniqFingers) instead of
+// live state. sLookup(NAddr, SnapID, K, ReqAddr, E) events resolve to
+// sLookupResults(ReqAddr, SnapID, K, SID, SAddr, E, RespAddr).
+const SnapshotLookupRules = `
+/* Re-declaring the snapshot tables makes this program installable in any
+   order relative to SnapshotRules (materialize is idempotent for
+   identical specs). */
+materialize(node, infinity, 1, keys(1)).
+materialize(snapBestSucc, 100, 50, keys(1,2)).
+materialize(snapUniqFingers, 100, 1600, keys(1,2,3)).
+materialize(currentSnap, infinity, 1, keys(1)).
+
+l1s sLookupResults@ReqAddr(SnapID, K, SID, SAddr, E, NAddr) :- node@NAddr(NID), sLookup@NAddr(SnapID, K, ReqAddr, E), snapBestSucc@NAddr(SnapID, SAddr, SID), K in (NID, SID].
+l2s sBestLookupDist@NAddr(SnapID, K, ReqAddr, E, min<D>) :- node@NAddr(NID), sLookup@NAddr(SnapID, K, ReqAddr, E), snapUniqFingers@NAddr(SnapID, FAddr, FID), D := K - FID - 1, FID in (NID, K).
+l3s sLookup@FAddr(SnapID, K, ReqAddr, E) :- sBestLookupDist@NAddr(SnapID, K, ReqAddr, E, D), snapUniqFingers@NAddr(SnapID, FAddr, FID), node@NAddr(NID), D == K - FID - 1, FID in (NID, K).
+`
+
+// SnapshotLookupProgram parses l1s-l3s.
+func SnapshotLookupProgram() *overlog.Program {
+	return overlog.MustParse(SnapshotLookupRules)
+}
+
+// SnapshotConsistencyRules rewrite the §3.1.4 consistency probe to run
+// its lookups over the current consistent snapshot (the paper's cs4s and
+// cs5s): probes observe one frozen global state, eliminating the false
+// positives live probes suffer under transient stalls.
+func SnapshotConsistencyRules(probePeriod float64) string {
+	return fmt.Sprintf(`
+materialize(sConLookupTable, 100, 400, keys(2,3)).
+materialize(sConRespTable, 100, 400, keys(2,3)).
+materialize(sRespCluster, 100, 400, keys(2,3)).
+materialize(sMaxCluster, 100, 400, keys(2)).
+materialize(sLookupCluster, 100, 400, keys(2)).
+
+cs1s sConProbe@NAddr(ProbeID, K, T) :- periodic@NAddr(ProbeID, %g), K := f_randID(), T := f_now().
+cs2s sConLookup@NAddr(ProbeID, K, FAddr, ReqID, T) :- sConProbe@NAddr(ProbeID, K, T), uniqueFinger@NAddr(FAddr, FID), ReqID := f_rand().
+cs3s sConLookupTable@NAddr(ProbeID, ReqID, T) :- sConLookup@NAddr(ProbeID, K, SrcAddr, ReqID, T).
+cs4s sLookup@SrcAddr(I, K, NAddr, ReqID) :- sConLookup@NAddr(ProbeID, K, SrcAddr, ReqID, T), currentSnap@NAddr(I).
+cs5s sConRespTable@NAddr(ProbeID, ReqID, SAddr) :- sLookupResults@NAddr(I, K, SID, SAddr, ReqID, Responder), sConLookupTable@NAddr(ProbeID, ReqID, T).
+cs6s sRespCluster@NAddr(ProbeID, SAddr, count<*>) :- sConRespTable@NAddr(ProbeID, ReqID, SAddr).
+cs7s sMaxCluster@NAddr(ProbeID, max<Count>) :- sRespCluster@NAddr(ProbeID, SAddr, Count).
+cs8s sLookupCluster@NAddr(ProbeID, T, count<*>) :- sConLookupTable@NAddr(ProbeID, ReqID, T).
+cs9s sConsistency@NAddr(ProbeID, Cons) :- periodic@NAddr(E, 20), sLookupCluster@NAddr(ProbeID, T, LookupCount), T < f_now() - 20, sMaxCluster@NAddr(ProbeID, RespCount), Cons := (RespCount * 1.0) / LookupCount.
+cs10s delete sLookupCluster@NAddr(ProbeID, T, Count) :- sConsistency@NAddr(ProbeID, Consistency).
+cs11s delete sConLookupTable@NAddr(ProbeID, ReqID, T) :- sConsistency@NAddr(ProbeID, Consistency), sConLookupTable@NAddr(ProbeID, ReqID, T).
+
+watch(sConsistency).
+`, probePeriod)
+}
+
+// SnapshotConsistencyProgram parses the snapshot-based probe.
+func SnapshotConsistencyProgram(probePeriod float64) *overlog.Program {
+	return overlog.MustParse(SnapshotConsistencyRules(probePeriod))
+}
+
+// SnapState reads a node's most recent (snapID, phase), or (0, "") when
+// the snapshot machinery is not installed. snapState holds one row per
+// snapshot ID within its TTL; the highest ID is the current snapshot.
+func SnapState(n *engine.Node) (int64, string) {
+	tb := n.Store().Get("snapState")
+	if tb == nil {
+		return 0, ""
+	}
+	var id int64 = -1
+	phase := ""
+	tb.Scan(n.Now(), func(t tuple.Tuple) {
+		if v := t.Field(1).AsInt(); v >= id {
+			id = v
+			phase = t.Field(2).AsStr()
+		}
+	})
+	if id < 0 {
+		return 0, ""
+	}
+	return id, phase
+}
+
+// SnappedBestSucc reads the successor address recorded in snapshot
+// snapID at node n ("" if none).
+func SnappedBestSucc(n *engine.Node, snapID int64) string {
+	tb := n.Store().Get("snapBestSucc")
+	if tb == nil {
+		return ""
+	}
+	out := ""
+	tb.Scan(n.Now(), func(t tuple.Tuple) {
+		if t.Field(1).AsInt() == snapID {
+			out = t.Field(2).AsStr()
+		}
+	})
+	return out
+}

@@ -1,0 +1,237 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+
+	"p2go/internal/chord"
+	"p2go/internal/overlog"
+	"p2go/internal/tuple"
+)
+
+// snapshotRing builds a converged Chord ring with the snapshot machinery
+// installed everywhere (no periodic initiator).
+func snapshotRing(t *testing.T, n int, seed int64, extra ...*overlog.Program) *chord.Ring {
+	t.Helper()
+	r, err := chord.NewRing(chord.RingConfig{N: n, Seed: seed, ExtraPrograms: extra})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(300)
+	if bad := r.CheckRing(r.Addrs); len(bad) > 0 {
+		t.Fatalf("ring not converged: %v", bad)
+	}
+	for _, a := range r.Addrs {
+		if err := InstallSnapshot(r.Node(a), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Run(30) // warm up backPointer tables
+	return r
+}
+
+// startSnapshot injects a snap event at the initiator.
+func startSnapshot(t *testing.T, r *chord.Ring, initiator string, id int64) {
+	t.Helper()
+	err := r.Net.Inject(initiator, tuple.New("snap",
+		tuple.Str(initiator), tuple.Int(id), tuple.Str("-")))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotCompletesEverywhere: a snapshot started at one node reaches
+// every node via markers over the ping topology, records each node's
+// routing state, and terminates ("Done") at every node.
+func TestSnapshotCompletesEverywhere(t *testing.T) {
+	r := snapshotRing(t, 8, 41)
+	startSnapshot(t, r, "n1", 1)
+	r.Run(60)
+	if len(r.Errors) > 0 {
+		t.Fatalf("rule errors: %v", r.Errors[:min(3, len(r.Errors))])
+	}
+	for _, a := range r.Addrs {
+		id, phase := SnapState(r.Node(a))
+		if id != 1 || phase != "Done" {
+			t.Errorf("%s: snapState = (%d, %s), want (1, Done)", a, id, phase)
+		}
+	}
+	// On a stable ring, the snapped successor relation is the true one:
+	// the cut is a globally consistent ring image.
+	for _, a := range r.Addrs {
+		want := chord.TrueSuccessor(a, r.Addrs)
+		if got := SnappedBestSucc(r.Node(a), 1); got != want {
+			t.Errorf("%s: snapped bestSucc = %q, want %q", a, got, want)
+		}
+	}
+	// Fingers and predecessors were recorded too.
+	for _, a := range r.Addrs {
+		if r.Node(a).Store().Get("snapUniqFingers").Count() == 0 {
+			t.Errorf("%s: no snapped fingers", a)
+		}
+		if r.Node(a).Store().Get("snapPred").Count() == 0 {
+			t.Errorf("%s: no snapped pred", a)
+		}
+	}
+}
+
+// TestSnapshotChannelsRecordInFlightMessages: channels record Chord
+// traffic (pings, stabilization) that arrives between the local snap and
+// the marker on that channel. Slow links (0.2-1 s) stretch the recording
+// windows so in-flight messages are reliably caught.
+func TestSnapshotChannelsRecordInFlightMessages(t *testing.T) {
+	r, err := chord.NewRing(chord.RingConfig{N: 8, Seed: 43,
+		MinDelay: 0.2, MaxDelay: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(400)
+	if bad := r.CheckRing(r.Addrs); len(bad) > 0 {
+		t.Fatalf("ring not converged: %v", bad)
+	}
+	for _, a := range r.Addrs {
+		if err := InstallSnapshot(r.Node(a), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Run(30)
+	startSnapshot(t, r, "n1", 1)
+	r.Run(60)
+	total := 0
+	for _, a := range r.Addrs {
+		total += r.Node(a).Store().Get("chanRec").Count()
+	}
+	// With 8 nodes pinging and stabilizing every 5 s, some messages are
+	// in flight during any multi-round snapshot.
+	if total == 0 {
+		t.Error("no channel messages recorded during the snapshot")
+	}
+	// Every recorded message belongs to snapshot 1 and names a known
+	// message type.
+	known := map[string]bool{"pingReq": true, "stabilizeRequest": true,
+		"notify": true, "lookupResults": true}
+	for _, a := range r.Addrs {
+		r.Node(a).Store().Get("chanRec").Scan(r.Sim.Now(), func(tp tuple.Tuple) {
+			if tp.Field(1).AsInt() != 1 {
+				t.Errorf("chanRec for snapshot %v", tp.Field(1))
+			}
+			if !known[tp.Field(3).AsStr()] {
+				t.Errorf("unknown recorded message type %v", tp)
+			}
+		})
+	}
+}
+
+// TestRepeatedSnapshots: successive snapshots with increasing IDs each
+// complete; older snapshot state coexists until its TTL.
+func TestRepeatedSnapshots(t *testing.T) {
+	r := snapshotRing(t, 6, 47)
+	for id := int64(1); id <= 3; id++ {
+		startSnapshot(t, r, "n1", id)
+		r.Run(25)
+	}
+	for _, a := range r.Addrs {
+		id, phase := SnapState(r.Node(a))
+		if id != 3 || phase != "Done" {
+			t.Errorf("%s: snapState = (%d, %s), want (3, Done)", a, id, phase)
+		}
+	}
+}
+
+// TestPeriodicInitiator: installing the sr1 initiator advances snapshots
+// automatically (the Figure 7 workload).
+func TestPeriodicInitiator(t *testing.T) {
+	r, err := chord.NewRing(chord.RingConfig{N: 6, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(250)
+	if bad := r.CheckRing(r.Addrs); len(bad) > 0 {
+		t.Fatalf("ring not converged: %v", bad)
+	}
+	for i, a := range r.Addrs {
+		freq := 0.0
+		if i == 0 {
+			freq = 20
+		}
+		if err := InstallSnapshot(r.Node(a), freq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Run(100)
+	id, phase := SnapState(r.Node("n1"))
+	if id < 3 || phase != "Done" {
+		t.Errorf("initiator snapState = (%d, %s), want several completed snapshots", id, phase)
+	}
+	// Non-initiators follow the initiator's IDs.
+	id2, _ := SnapState(r.Node("n4"))
+	if id2 < id-1 {
+		t.Errorf("n4 snapshot id = %d, initiator at %d", id2, id)
+	}
+}
+
+// TestSnapshotLookups: lookups over the snapshot (l1s-l3s) resolve keys
+// to the same owners as the live converged ring.
+func TestSnapshotLookups(t *testing.T) {
+	r := snapshotRing(t, 8, 53,
+		SnapshotLookupProgram(), chord.WatchProgram("sLookupResults"))
+	startSnapshot(t, r, "n1", 1)
+	r.Run(60)
+	rng := rand.New(rand.NewSource(5))
+	wants := map[uint64]string{}
+	for i := 0; i < 10; i++ {
+		key := rng.Uint64()
+		e := uint64(5000 + i)
+		wants[e] = chord.TrueOwner(key, r.Addrs)
+		err := r.Net.Inject("n2", tuple.New("sLookup",
+			tuple.Str("n2"), tuple.Int(1), tuple.ID(key), tuple.Str("n2"), tuple.ID(e)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Run(30)
+	got := map[uint64]string{}
+	for _, w := range r.Watched {
+		if w.T.Name == "sLookupResults" {
+			// sLookupResults(ReqAddr, SnapID, K, SID, SAddr, E, Resp)
+			got[w.T.Field(5).AsID()] = w.T.Field(4).AsStr()
+		}
+	}
+	for e, want := range wants {
+		owner, ok := got[e]
+		if !ok {
+			t.Errorf("snapshot lookup %d: no response", e)
+			continue
+		}
+		if owner != want {
+			t.Errorf("snapshot lookup %d: owner %s, want %s", e, owner, want)
+		}
+	}
+}
+
+// TestSnapshotConsistencyProbe: the §3.3 "Routing Consistency Revisited"
+// probe over a frozen snapshot reports consistency 1.0 on a stable ring.
+func TestSnapshotConsistencyProbe(t *testing.T) {
+	r := snapshotRing(t, 8, 59, SnapshotLookupProgram())
+	startSnapshot(t, r, "n1", 1)
+	r.Run(40)
+	if err := r.Node("n8").InstallProgram(SnapshotConsistencyProgram(15)); err != nil {
+		t.Fatal(err)
+	}
+	r.Run(80)
+	if len(r.Errors) > 0 {
+		t.Fatalf("rule errors: %v", r.Errors[:min(3, len(r.Errors))])
+	}
+	results := 0
+	for _, w := range r.Watched {
+		if w.T.Name == "sConsistency" {
+			results++
+			if c := w.T.Field(2).AsFloat(); c != 1.0 {
+				t.Errorf("snapshot consistency = %v, want 1.0", c)
+			}
+		}
+	}
+	if results == 0 {
+		t.Error("no snapshot-consistency results produced")
+	}
+}

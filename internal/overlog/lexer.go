@@ -1,0 +1,281 @@
+package overlog
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// lexer scans OverLog source into tokens. It supports // line comments
+// and /* ... */ block comments.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errf(msg string) *Error {
+	return &Error{Line: l.line, Col: l.col, Msg: msg}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekByte2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.src); i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance(1)
+		case c == '/' && l.peekByte2() == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance(1)
+			}
+		case c == '/' && l.peekByte2() == '*':
+			start := *l
+			l.advance(2)
+			for {
+				if l.pos >= len(l.src) {
+					return start.errf("unterminated block comment")
+				}
+				if l.peekByte() == '*' && l.peekByte2() == '/' {
+					l.advance(2)
+					break
+				}
+				l.advance(1)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentCont(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	tok := token{line: l.line, col: l.col}
+	if l.pos >= len(l.src) {
+		tok.kind = tokEOF
+		return tok, nil
+	}
+	c := l.peekByte()
+	switch {
+	case c >= '0' && c <= '9':
+		return l.lexNumber()
+	case c == '"':
+		return l.lexString()
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	if isIdentStart(r) {
+		return l.lexIdent()
+	}
+
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case ":-":
+		tok.kind, tok.text = tokImplies, two
+	case ":=":
+		tok.kind, tok.text = tokAssign, two
+	case "==":
+		tok.kind, tok.text = tokEq, two
+	case "!=":
+		tok.kind, tok.text = tokNeq, two
+	case "<=":
+		tok.kind, tok.text = tokLe, two
+	case ">=":
+		tok.kind, tok.text = tokGe, two
+	case "<<":
+		tok.kind, tok.text = tokShl, two
+	case "&&":
+		tok.kind, tok.text = tokAndAnd, two
+	case "||":
+		tok.kind, tok.text = tokOrOr, two
+	}
+	if tok.kind != tokEOF {
+		l.advance(2)
+		return tok, nil
+	}
+
+	switch c {
+	case '(':
+		tok.kind = tokLParen
+	case ')':
+		tok.kind = tokRParen
+	case '[':
+		tok.kind = tokLBracket
+	case ']':
+		tok.kind = tokRBracket
+	case ',':
+		tok.kind = tokComma
+	case '.':
+		tok.kind = tokDot
+	case '@':
+		tok.kind = tokAt
+	case '+':
+		tok.kind = tokPlus
+	case '-':
+		tok.kind = tokMinus
+	case '*':
+		tok.kind = tokStar
+	case '/':
+		tok.kind = tokSlash
+	case '%':
+		tok.kind = tokPercent
+	case '<':
+		tok.kind = tokLt
+	case '>':
+		tok.kind = tokGt
+	default:
+		return token{}, l.errf("unexpected character " + string(r))
+	}
+	tok.text = string(c)
+	l.advance(1)
+	return tok, nil
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	tok := token{kind: tokNumber, line: l.line, col: l.col}
+	start := l.pos
+	for l.pos < len(l.src) && l.peekByte() >= '0' && l.peekByte() <= '9' {
+		l.advance(1)
+	}
+	// Hex literal 0x...
+	if l.pos-start == 1 && l.src[start] == '0' &&
+		(l.peekByte() == 'x' || l.peekByte() == 'X') {
+		l.advance(1)
+		for l.pos < len(l.src) && isHexDigit(l.peekByte()) {
+			l.advance(1)
+		}
+	} else if l.peekByte() == '.' && l.peekByte2() >= '0' && l.peekByte2() <= '9' {
+		// Fractional part: only when a digit follows the dot, so that
+		// the statement terminator "100." lexes as NUMBER DOT.
+		l.advance(1)
+		for l.pos < len(l.src) && l.peekByte() >= '0' && l.peekByte() <= '9' {
+			l.advance(1)
+		}
+	}
+	tok.text = l.src[start:l.pos]
+	return tok, nil
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func (l *lexer) lexString() (token, error) {
+	tok := token{kind: tokString, line: l.line, col: l.col}
+	l.advance(1) // opening quote
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return token{}, l.errf("unterminated string literal")
+		}
+		c := l.peekByte()
+		if c == '"' {
+			l.advance(1)
+			break
+		}
+		if c == '\\' {
+			l.advance(1)
+			esc := l.peekByte()
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"', '\\':
+				b.WriteByte(esc)
+			default:
+				return token{}, l.errf("unknown escape \\" + string(esc))
+			}
+			l.advance(1)
+			continue
+		}
+		b.WriteByte(c)
+		l.advance(1)
+	}
+	tok.text = b.String()
+	return tok, nil
+}
+
+func (l *lexer) lexIdent() (token, error) {
+	tok := token{line: l.line, col: l.col}
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isIdentCont(r) {
+			break
+		}
+		l.advance(size)
+	}
+	tok.text = l.src[start:l.pos]
+	if tok.text == "_" {
+		tok.kind = tokWildcard
+		return tok, nil
+	}
+	first, _ := utf8.DecodeRuneInString(tok.text)
+	if unicode.IsUpper(first) {
+		tok.kind = tokVar
+	} else {
+		tok.kind = tokIdent
+	}
+	return tok, nil
+}
+
+// lexAll tokenizes the entire input (testing helper and parser driver).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,642 @@
+package overlog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"p2go/internal/tuple"
+)
+
+// Parse parses an OverLog program.
+//
+// Conventions, following P2:
+//   - Upper-case identifiers are variables, lower-case are constants
+//     (symbols, rendered as strings) or predicate names.
+//   - Identifiers beginning with "f_" are builtin function calls, never
+//     predicates.
+//   - The location specifier pred@Loc(...) is stored as tuple field 0;
+//     a functor without @ uses its first argument as the location.
+//   - Aggregates (count<*>, min<X>, max<X>, sum<X>, avg<X>) may appear
+//     only in rule heads.
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(tokEOF) {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		prog.Statements = append(prog.Statements, s)
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error; for statically known programs
+// (the Chord and monitor rules compiled into this repository).
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) peek() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) at(k tokKind) bool { return p.cur().kind == k }
+
+func (p *parser) advance() token {
+	t := p.cur()
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) *Error {
+	t := p.cur()
+	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	if !p.at(k) {
+		return token{}, p.errf("expected %v, found %v %q", k, p.cur().kind, p.cur().text)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	if p.at(tokIdent) {
+		switch p.cur().text {
+		case "materialize":
+			if p.peek().kind == tokLParen {
+				return p.materialize()
+			}
+		case "watch":
+			if p.peek().kind == tokLParen {
+				return p.watch()
+			}
+		}
+	}
+	return p.rule()
+}
+
+func (p *parser) materialize() (Stmt, error) {
+	p.advance() // materialize
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma); err != nil {
+		return nil, err
+	}
+	life, err := p.lifeOrSize()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma); err != nil {
+		return nil, err
+	}
+	size, err := p.lifeOrSize()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma); err != nil {
+		return nil, err
+	}
+	kw, err := p.expect(tokIdent)
+	if err != nil || kw.text != "keys" {
+		return nil, p.errf("expected keys(...)")
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var keys []int
+	for {
+		num, err := p.expect(tokNumber)
+		if err != nil {
+			return nil, err
+		}
+		k, err := strconv.Atoi(num.text)
+		if err != nil || k < 1 {
+			return nil, p.errf("key positions must be positive integers")
+		}
+		keys = append(keys, k)
+		if !p.at(tokComma) {
+			break
+		}
+		p.advance()
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return nil, err
+	}
+	m := &Materialize{Name: name.text, Keys: keys}
+	m.Lifetime = life
+	if size < 0 {
+		m.MaxSize = -1
+	} else {
+		m.MaxSize = int(size)
+	}
+	return m, nil
+}
+
+// lifeOrSize parses a number or the keyword infinity, returning -1 for
+// infinity.
+func (p *parser) lifeOrSize() (float64, error) {
+	if p.at(tokIdent) && p.cur().text == "infinity" {
+		p.advance()
+		return -1, nil
+	}
+	num, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(num.text, 64)
+	if err != nil {
+		return 0, p.errf("bad number %q", num.text)
+	}
+	return v, nil
+}
+
+func (p *parser) watch() (Stmt, error) {
+	p.advance() // watch
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return nil, err
+	}
+	return &Watch{Name: name.text}, nil
+}
+
+func (p *parser) rule() (Stmt, error) {
+	r := &Rule{}
+	// Optional label: an identifier directly followed by another
+	// identifier or by the delete keyword. "delete" itself is never a
+	// label, so unlabeled delete rules parse correctly.
+	if p.at(tokIdent) && p.cur().text != "delete" && p.peek().kind == tokIdent {
+		r.Label = p.advance().text
+	}
+	if p.at(tokIdent) && p.cur().text == "delete" && p.peek().kind == tokIdent {
+		r.Delete = true
+		p.advance()
+	}
+	head, err := p.functor(true)
+	if err != nil {
+		return nil, err
+	}
+	r.Head = *head
+	if _, err := p.expect(tokImplies); err != nil {
+		return nil, err
+	}
+	for {
+		bt, err := p.bodyTerm()
+		if err != nil {
+			return nil, err
+		}
+		r.Body = append(r.Body, bt)
+		if p.at(tokComma) {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return nil, err
+	}
+	if err := validateRule(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// validateRule applies static checks: aggregates only in heads, at most
+// one aggregate per head, assignments bind fresh variables.
+func validateRule(r *Rule) error {
+	aggs := 0
+	for _, a := range r.Head.Args {
+		if _, ok := a.(*Agg); ok {
+			aggs++
+		}
+	}
+	if aggs > 1 {
+		return fmt.Errorf("overlog: rule %s: at most one aggregate per head", r.Label)
+	}
+	if r.Delete && aggs > 0 {
+		return fmt.Errorf("overlog: rule %s: delete rules cannot aggregate", r.Label)
+	}
+	return nil
+}
+
+func (p *parser) bodyTerm() (BodyTerm, error) {
+	// Assignment: VAR := expr
+	if p.at(tokVar) && p.peek().kind == tokAssign {
+		v := p.advance().text
+		p.advance() // :=
+		e, err := p.expr(false)
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Var: v, Expr: e}, nil
+	}
+	// Predicate: IDENT not beginning with f_, followed by @ or (.
+	if p.at(tokIdent) && !strings.HasPrefix(p.cur().text, "f_") &&
+		(p.peek().kind == tokAt || p.peek().kind == tokLParen) {
+		f, err := p.functor(false)
+		if err != nil {
+			return nil, err
+		}
+		return &Pred{Functor: *f}, nil
+	}
+	e, err := p.expr(false)
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{Expr: e}, nil
+}
+
+func (p *parser) functor(isHead bool) (*Functor, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	f := &Functor{Name: name.text}
+	if p.at(tokAt) {
+		p.advance()
+		// The location is a simple term (variable, symbol, or string);
+		// parsing it as a general primary would swallow the functor's
+		// opening parenthesis after a constant location like pred@n1(...).
+		switch p.cur().kind {
+		case tokVar:
+			f.Loc = &Var{Name: p.advance().text}
+		case tokIdent:
+			f.Loc = &Lit{Val: tuple.Str(p.advance().text)}
+		case tokString:
+			f.Loc = &Lit{Val: tuple.Str(p.advance().text)}
+		default:
+			return nil, p.errf("expected a variable or constant after @")
+		}
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	if !p.at(tokRParen) {
+		for {
+			a, err := p.expr(isHead)
+			if err != nil {
+				return nil, err
+			}
+			f.Args = append(f.Args, a)
+			if p.at(tokComma) {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if f.Loc == nil && len(f.Args) == 0 {
+		return nil, p.errf("predicate %s needs a location specifier", f.Name)
+	}
+	if !isHead {
+		for _, a := range f.Args {
+			switch a.(type) {
+			case *Var, *Lit, *Wildcard, *Unary:
+			default:
+				return nil, p.errf("body predicate %s: arguments must be variables or constants, found %s", f.Name, a.String())
+			}
+		}
+	}
+	return f, nil
+}
+
+// Operator precedence, loosest first:
+//
+//	||  &&  (== != < <= > >= in)  <<  (+ -)  (* / %)  unary-  primary
+func (p *parser) expr(allowAgg bool) (Expr, error) { return p.orExpr(allowAgg) }
+
+func (p *parser) orExpr(allowAgg bool) (Expr, error) {
+	l, err := p.andExpr(allowAgg)
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokOrOr) {
+		p.advance()
+		r, err := p.andExpr(allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr(allowAgg bool) (Expr, error) {
+	l, err := p.cmpExpr(allowAgg)
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokAndAnd) {
+		p.advance()
+		r, err := p.cmpExpr(allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) cmpExpr(allowAgg bool) (Expr, error) {
+	l, err := p.shiftExpr(allowAgg)
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().kind {
+	case tokEq, tokNeq, tokLt, tokLe, tokGt, tokGe:
+		op := p.advance().text
+		r, err := p.shiftExpr(allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: op, L: l, R: r}, nil
+	case tokIdent:
+		if p.cur().text == "in" {
+			p.advance()
+			return p.rangeTail(l)
+		}
+	}
+	return l, nil
+}
+
+// rangeTail parses the interval after "X in": (Lo, Hi] etc.
+func (p *parser) rangeTail(x Expr) (Expr, error) {
+	r := &RangeExpr{X: x}
+	switch p.cur().kind {
+	case tokLParen:
+		r.LoOpen = true
+	case tokLBracket:
+		r.LoOpen = false
+	default:
+		return nil, p.errf("expected '(' or '[' after in")
+	}
+	p.advance()
+	lo, err := p.shiftExpr(false)
+	if err != nil {
+		return nil, err
+	}
+	r.Lo = lo
+	if _, err := p.expect(tokComma); err != nil {
+		return nil, err
+	}
+	hi, err := p.shiftExpr(false)
+	if err != nil {
+		return nil, err
+	}
+	r.Hi = hi
+	switch p.cur().kind {
+	case tokRParen:
+		r.HiOpen = true
+	case tokRBracket:
+		r.HiOpen = false
+	default:
+		return nil, p.errf("expected ')' or ']' closing interval")
+	}
+	p.advance()
+	return r, nil
+}
+
+func (p *parser) shiftExpr(allowAgg bool) (Expr, error) {
+	l, err := p.addExpr(allowAgg)
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokShl) {
+		p.advance()
+		r, err := p.addExpr(allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "<<", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr(allowAgg bool) (Expr, error) {
+	l, err := p.mulExpr(allowAgg)
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPlus) || p.at(tokMinus) {
+		op := p.advance().text
+		r, err := p.mulExpr(allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr(allowAgg bool) (Expr, error) {
+	l, err := p.unary(allowAgg)
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokStar) || p.at(tokSlash) || p.at(tokPercent) {
+		op := p.advance().text
+		r, err := p.unary(allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unary(allowAgg bool) (Expr, error) {
+	if p.at(tokMinus) {
+		p.advance()
+		x, err := p.unary(allowAgg)
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := x.(*Lit); ok && lit.Val.Kind() == tuple.KindInt {
+			return &Lit{Val: tuple.Int(-lit.Val.AsInt())}, nil
+		}
+		if lit, ok := x.(*Lit); ok && lit.Val.Kind() == tuple.KindFloat {
+			return &Lit{Val: tuple.Float(-lit.Val.AsFloat())}, nil
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	return p.primary(allowAgg)
+}
+
+var aggOps = map[string]bool{"count": true, "min": true, "max": true, "sum": true, "avg": true}
+
+func (p *parser) primary(allowAgg bool) (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		return numberLit(t)
+	case tokString:
+		p.advance()
+		return &Lit{Val: tuple.Str(t.text)}, nil
+	case tokVar:
+		p.advance()
+		return &Var{Name: t.text}, nil
+	case tokWildcard:
+		p.advance()
+		return &Wildcard{}, nil
+	case tokLParen:
+		p.advance()
+		e, err := p.expr(false)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokLBracket:
+		p.advance()
+		l := &ListExpr{}
+		if !p.at(tokRBracket) {
+			for {
+				e, err := p.expr(false)
+				if err != nil {
+					return nil, err
+				}
+				l.Elems = append(l.Elems, e)
+				if p.at(tokComma) {
+					p.advance()
+					continue
+				}
+				break
+			}
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+		return l, nil
+	case tokIdent:
+		// Aggregate in head position: count<*>, min<D>, ...
+		if allowAgg && aggOps[t.text] && p.peek().kind == tokLt {
+			p.advance() // op
+			p.advance() // <
+			a := &Agg{Op: t.text}
+			switch p.cur().kind {
+			case tokStar:
+				p.advance()
+			case tokVar:
+				a.Var = p.advance().text
+			default:
+				return nil, p.errf("expected * or variable inside aggregate")
+			}
+			if _, err := p.expect(tokGt); err != nil {
+				return nil, err
+			}
+			return a, nil
+		}
+		p.advance()
+		switch t.text {
+		case "true":
+			return &Lit{Val: tuple.Bool(true)}, nil
+		case "false":
+			return &Lit{Val: tuple.Bool(false)}, nil
+		case "null", "nil":
+			return &Lit{Val: tuple.Nil}, nil
+		}
+		// Builtin call: f_name(args).
+		if p.at(tokLParen) {
+			if !strings.HasPrefix(t.text, "f_") {
+				return nil, &Error{Line: t.line, Col: t.col,
+					Msg: fmt.Sprintf("unexpected predicate %q in expression (builtins start with f_)", t.text)}
+			}
+			p.advance()
+			c := &Call{Name: t.text}
+			if !p.at(tokRParen) {
+				for {
+					a, err := p.expr(false)
+					if err != nil {
+						return nil, err
+					}
+					c.Args = append(c.Args, a)
+					if p.at(tokComma) {
+						p.advance()
+						continue
+					}
+					break
+				}
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			return c, nil
+		}
+		// Bare lower-case identifier: a symbol constant.
+		return &Lit{Val: tuple.Str(t.text)}, nil
+	}
+	return nil, p.errf("unexpected %v %q in expression", t.kind, t.text)
+}
+
+func numberLit(t token) (Expr, error) {
+	if strings.HasPrefix(t.text, "0x") || strings.HasPrefix(t.text, "0X") {
+		u, err := strconv.ParseUint(t.text[2:], 16, 64)
+		if err != nil {
+			return nil, &Error{Line: t.line, Col: t.col, Msg: "bad hex literal " + t.text}
+		}
+		return &Lit{Val: tuple.ID(u)}, nil
+	}
+	if strings.Contains(t.text, ".") {
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, &Error{Line: t.line, Col: t.col, Msg: "bad float literal " + t.text}
+		}
+		return &Lit{Val: tuple.Float(f)}, nil
+	}
+	i, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		u, uerr := strconv.ParseUint(t.text, 10, 64)
+		if uerr != nil {
+			return nil, &Error{Line: t.line, Col: t.col, Msg: "bad integer literal " + t.text}
+		}
+		return &Lit{Val: tuple.ID(u)}, nil
+	}
+	return &Lit{Val: tuple.Int(i)}, nil
+}

@@ -1,0 +1,126 @@
+// Package overlog implements the OverLog language: the Datalog variant in
+// which P2 programs — overlay algorithms and the monitoring queries that
+// watch them — are written. It provides a lexer, a recursive-descent
+// parser producing an AST, and the builtin function table (f_now, f_rand,
+// ...). Compilation of rules into dataflow strands lives in
+// internal/planner.
+package overlog
+
+import "fmt"
+
+// tokKind enumerates lexical token types.
+type tokKind uint8
+
+const (
+	tokEOF      tokKind = iota
+	tokIdent            // lower-case identifier: predicate names, symbols, keywords
+	tokVar              // upper-case identifier: variable
+	tokWildcard         // _
+	tokNumber           // integer or float literal
+	tokString           // double-quoted string
+	tokLParen           // (
+	tokRParen           // )
+	tokLBracket         // [
+	tokRBracket         // ]
+	tokComma            // ,
+	tokDot              // .
+	tokAt               // @
+	tokImplies          // :-
+	tokAssign           // :=
+	tokPlus             // +
+	tokMinus            // -
+	tokStar             // *
+	tokSlash            // /
+	tokPercent          // %
+	tokEq               // ==
+	tokNeq              // !=
+	tokLt               // <
+	tokGt               // >
+	tokLe               // <=
+	tokGe               // >=
+	tokShl              // <<
+	tokAndAnd           // &&
+	tokOrOr             // ||
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokVar:
+		return "variable"
+	case tokWildcard:
+		return "_"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokAt:
+		return "'@'"
+	case tokImplies:
+		return "':-'"
+	case tokAssign:
+		return "':='"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	case tokPercent:
+		return "'%'"
+	case tokEq:
+		return "'=='"
+	case tokNeq:
+		return "'!='"
+	case tokLt:
+		return "'<'"
+	case tokGt:
+		return "'>'"
+	case tokLe:
+		return "'<='"
+	case tokGe:
+		return "'>='"
+	case tokShl:
+		return "'<<'"
+	case tokAndAnd:
+		return "'&&'"
+	case tokOrOr:
+		return "'||'"
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+// token is one lexical unit with its source position.
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+// Error is a parse or lex error carrying a source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("overlog: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}

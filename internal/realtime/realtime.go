@@ -1,0 +1,265 @@
+// Package realtime drives P2 nodes with goroutines and wall-clock time
+// instead of the discrete-event simulator: one goroutine per node
+// serializes that node's tasks, links are buffered channels with optional
+// delay, and periodic rules fire off time.Timer. The engine is identical
+// — only the driver differs — so any program developed against simnet
+// runs unmodified in real time.
+//
+// The simulator remains the right tool for benchmarks and reproducible
+// tests; this driver exists for interactive use (cmd/p2node -realtime)
+// and as the deployment shape a real P2 system would have.
+package realtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"p2go/internal/engine"
+	"p2go/internal/overlog"
+	"p2go/internal/tuple"
+)
+
+// Config configures a real-time network.
+type Config struct {
+	// Seed seeds per-node RNGs and delay sampling.
+	Seed int64
+	// MinDelay/MaxDelay bound the artificial one-way link delay.
+	MinDelay, MaxDelay time.Duration
+	// QueueDepth is the per-node task channel capacity (default 1024).
+	QueueDepth int
+	// OnWatch and OnRuleError mirror the simnet hooks. They are called
+	// from node goroutines; implementations must be safe for concurrent
+	// use.
+	OnWatch     func(now float64, node string, t tuple.Tuple)
+	OnRuleError func(now float64, node, ruleID string, err error)
+}
+
+type task func()
+
+type host struct {
+	node  *engine.Node
+	tasks chan task
+	done  chan struct{}
+}
+
+// Network runs nodes in real time. Create it, AddNode + InstallProgram
+// while stopped, then Start; Stop shuts every node goroutine down.
+type Network struct {
+	cfg   Config
+	start time.Time
+	rng   *rand.Rand
+	rngMu sync.Mutex
+
+	mu      sync.Mutex
+	hosts   map[string]*host
+	started bool
+	wg      sync.WaitGroup
+}
+
+// NewNetwork creates a stopped real-time network.
+func NewNetwork(cfg Config) *Network {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	return &Network{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		hosts: make(map[string]*host),
+	}
+}
+
+// now returns seconds since Start (0 before).
+func (n *Network) now() float64 {
+	if n.start.IsZero() {
+		return 0
+	}
+	return time.Since(n.start).Seconds()
+}
+
+func (n *Network) randDelay() time.Duration {
+	if n.cfg.MaxDelay <= 0 {
+		return 0
+	}
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return n.cfg.MinDelay + time.Duration(n.rng.Int63n(int64(n.cfg.MaxDelay-n.cfg.MinDelay)+1))
+}
+
+// AddNode creates a node; must be called before Start.
+func (n *Network) AddNode(addr string) (*engine.Node, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return nil, fmt.Errorf("realtime: AddNode after Start")
+	}
+	if _, ok := n.hosts[addr]; ok {
+		return nil, fmt.Errorf("realtime: node %s already exists", addr)
+	}
+	h := &host{tasks: make(chan task, n.cfg.QueueDepth), done: make(chan struct{})}
+	n.rngMu.Lock()
+	seed := n.rng.Int63()
+	n.rngMu.Unlock()
+	cfg := engine.Config{
+		Addr:  addr,
+		Seed:  seed,
+		Clock: n.now,
+		Send: func(dst string, env engine.Envelope, _ float64) {
+			n.deliver(dst, env)
+		},
+		OnNewPeriodic: func(p *engine.Periodic) { n.armTimer(h, p) },
+	}
+	if n.cfg.OnWatch != nil {
+		cfg.OnWatch = func(now float64, t tuple.Tuple) { n.cfg.OnWatch(now, addr, t) }
+	}
+	if n.cfg.OnRuleError != nil {
+		cfg.OnRuleError = func(now float64, ruleID string, err error) {
+			n.cfg.OnRuleError(now, addr, ruleID, err)
+		}
+	}
+	h.node = engine.NewNode(cfg)
+	n.hosts[addr] = h
+	return h.node, nil
+}
+
+// deliver enqueues a message task on the destination's goroutine after
+// the sampled link delay. Messages to unknown or stopped nodes are
+// dropped, as on a real datagram network.
+func (n *Network) deliver(dst string, env engine.Envelope) {
+	n.mu.Lock()
+	h, ok := n.hosts[dst]
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	send := func() {
+		select {
+		case h.tasks <- func() { h.node.HandleMessage(env) }:
+		case <-h.done:
+		default: // queue full: drop, like UDP under overload
+		}
+	}
+	if d := n.randDelay(); d > 0 {
+		time.AfterFunc(d, send)
+	} else {
+		send()
+	}
+}
+
+// armTimer schedules a periodic trigger with jittered phase.
+func (n *Network) armTimer(h *host, p *engine.Periodic) {
+	period := time.Duration(p.Period() * float64(time.Second))
+	n.rngMu.Lock()
+	first := time.Duration(float64(period) * (0.05 + 0.95*n.rng.Float64()))
+	n.rngMu.Unlock()
+	var fire func()
+	fire = func() {
+		select {
+		case <-h.done:
+			return
+		default:
+		}
+		select {
+		case h.tasks <- func() { h.node.HandleTimer(p) }:
+		case <-h.done:
+			return
+		}
+		if !p.Done() {
+			time.AfterFunc(period, fire)
+		}
+	}
+	time.AfterFunc(first, fire)
+}
+
+// Inject hands a tuple to a node as a local event.
+func (n *Network) Inject(addr string, t tuple.Tuple) error {
+	n.mu.Lock()
+	h, ok := n.hosts[addr]
+	running := n.started
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("realtime: no node %s", addr)
+	}
+	if !running {
+		return fmt.Errorf("realtime: network not running")
+	}
+	select {
+	case h.tasks <- func() { h.node.HandleLocal(t) }:
+		return nil
+	case <-h.done:
+		return fmt.Errorf("realtime: node %s stopped", addr)
+	}
+}
+
+// Node returns a node by address. The returned node must only be
+// inspected while the network is stopped (nodes are not thread-safe).
+func (n *Network) Node(addr string) *engine.Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h, ok := n.hosts[addr]; ok {
+		return h.node
+	}
+	return nil
+}
+
+// Start launches every node goroutine and begins wall-clock time.
+func (n *Network) Start() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return
+	}
+	n.started = true
+	n.start = time.Now()
+	for _, h := range n.hosts {
+		h := h
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			// Sweep soft state about once per second.
+			sweep := time.NewTicker(time.Second)
+			defer sweep.Stop()
+			for {
+				select {
+				case <-h.done:
+					return
+				case t := <-h.tasks:
+					t()
+				case <-sweep.C:
+					h.node.Sweep()
+				}
+			}
+		}()
+	}
+}
+
+// Stop shuts all node goroutines down and waits for them.
+func (n *Network) Stop() {
+	n.mu.Lock()
+	if !n.started {
+		n.mu.Unlock()
+		return
+	}
+	n.started = false
+	for _, h := range n.hosts {
+		close(h.done)
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// InstallAll installs a program on every node (before Start).
+func (n *Network) InstallAll(prog *overlog.Program) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return fmt.Errorf("realtime: InstallAll after Start")
+	}
+	for _, h := range n.hosts {
+		if err := h.node.InstallProgram(prog); err != nil {
+			return err
+		}
+	}
+	return nil
+}

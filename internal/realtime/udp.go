@@ -1,0 +1,223 @@
+package realtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"p2go/internal/engine"
+	"p2go/internal/tuple"
+)
+
+// UDP transport: one P2 node per OS process, exchanging envelope
+// datagrams — the deployment shape of the original P2 prototype (the
+// paper's testbed ran 21 processes over UDP).
+//
+// Datagram format:
+//
+//	srcLen(uvarint) src srcTupleID(uvarint) tupleBytes
+//
+// where tupleBytes is the standard tuple wire encoding. Datagrams that
+// fail to decode are dropped, as UDP noise should be.
+
+// UDPNodeConfig configures a single-process UDP node.
+type UDPNodeConfig struct {
+	// Addr is the node's P2 address (its location-specifier value).
+	Addr string
+	// Listen is the UDP address to bind, e.g. "127.0.0.1:7001".
+	Listen string
+	// Peers maps P2 addresses to UDP addresses. Tuples routed to an
+	// unknown peer are dropped.
+	Peers map[string]string
+	// Seed seeds the node RNG.
+	Seed int64
+	// OnWatch and OnRuleError mirror the other drivers' hooks (called
+	// from the node goroutine).
+	OnWatch     func(now float64, t tuple.Tuple)
+	OnRuleError func(now float64, ruleID string, err error)
+}
+
+// UDPNode runs one engine node on a UDP socket with a dedicated
+// goroutine serializing its tasks.
+type UDPNode struct {
+	node  *engine.Node
+	conn  *net.UDPConn
+	peers map[string]*net.UDPAddr
+	tasks chan task
+	done  chan struct{}
+	wg    sync.WaitGroup
+	start time.Time
+	mu    sync.Mutex
+}
+
+// encodeDatagram frames an envelope for the wire.
+func encodeDatagram(env engine.Envelope) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(env.Src)))
+	buf = append(buf, env.Src...)
+	buf = binary.AppendUvarint(buf, env.SrcTupleID)
+	return append(buf, env.Raw...)
+}
+
+// decodeDatagram parses a wire frame back into an envelope.
+func decodeDatagram(b []byte) (engine.Envelope, error) {
+	srcLen, n := binary.Uvarint(b)
+	if n <= 0 || int(srcLen) > len(b)-n {
+		return engine.Envelope{}, fmt.Errorf("realtime: bad datagram src")
+	}
+	src := string(b[n : n+int(srcLen)])
+	rest := b[n+int(srcLen):]
+	id, n2 := binary.Uvarint(rest)
+	if n2 <= 0 {
+		return engine.Envelope{}, fmt.Errorf("realtime: bad datagram id")
+	}
+	return engine.Envelope{Src: src, SrcTupleID: id, Raw: rest[n2:]}, nil
+}
+
+// NewUDPNode binds the socket and builds the node (stopped; call Start).
+func NewUDPNode(cfg UDPNodeConfig) (*UDPNode, error) {
+	laddr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("realtime: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("realtime: %w", err)
+	}
+	u := &UDPNode{
+		conn:  conn,
+		peers: make(map[string]*net.UDPAddr),
+		tasks: make(chan task, 1024),
+		done:  make(chan struct{}),
+	}
+	for p2addr, udpAddr := range cfg.Peers {
+		ra, err := net.ResolveUDPAddr("udp", udpAddr)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("realtime: peer %s: %w", p2addr, err)
+		}
+		u.peers[p2addr] = ra
+	}
+	u.start = time.Now()
+	u.node = engine.NewNode(engine.Config{
+		Addr:  cfg.Addr,
+		Seed:  cfg.Seed,
+		Clock: func() float64 { return time.Since(u.start).Seconds() },
+		Send: func(dst string, env engine.Envelope, _ float64) {
+			ra, ok := u.peers[dst]
+			if !ok {
+				return
+			}
+			u.conn.WriteToUDP(encodeDatagram(env), ra) //nolint:errcheck // datagram loss is expected
+		},
+		OnWatch:       cfg.OnWatch,
+		OnRuleError:   cfg.OnRuleError,
+		OnNewPeriodic: func(p *engine.Periodic) { u.armTimer(p) },
+	})
+	return u, nil
+}
+
+// Node returns the engine node for program installation before Start.
+func (u *UDPNode) Node() *engine.Node { return u.node }
+
+// LocalAddr returns the bound UDP address (useful with port 0).
+func (u *UDPNode) LocalAddr() string { return u.conn.LocalAddr().String() }
+
+// AddPeer registers (or updates) a peer mapping; safe before Start.
+func (u *UDPNode) AddPeer(p2addr, udpAddr string) error {
+	ra, err := net.ResolveUDPAddr("udp", udpAddr)
+	if err != nil {
+		return err
+	}
+	u.mu.Lock()
+	u.peers[p2addr] = ra
+	u.mu.Unlock()
+	return nil
+}
+
+func (u *UDPNode) armTimer(p *engine.Periodic) {
+	period := time.Duration(p.Period() * float64(time.Second))
+	var fire func()
+	fire = func() {
+		select {
+		case <-u.done:
+			return
+		default:
+		}
+		select {
+		case u.tasks <- func() { u.node.HandleTimer(p) }:
+		case <-u.done:
+			return
+		}
+		if !p.Done() {
+			time.AfterFunc(period, fire)
+		}
+	}
+	time.AfterFunc(period, fire)
+}
+
+// Inject hands a tuple to the node as a local event.
+func (u *UDPNode) Inject(t tuple.Tuple) error {
+	select {
+	case u.tasks <- func() { u.node.HandleLocal(t) }:
+		return nil
+	case <-u.done:
+		return fmt.Errorf("realtime: node stopped")
+	}
+}
+
+// Start launches the reader and executor goroutines.
+func (u *UDPNode) Start() {
+	u.start = time.Now()
+	u.wg.Add(2)
+	// Socket reader.
+	go func() {
+		defer u.wg.Done()
+		buf := make([]byte, 64<<10)
+		for {
+			n, _, err := u.conn.ReadFromUDP(buf)
+			if err != nil {
+				return // socket closed by Stop
+			}
+			env, err := decodeDatagram(append([]byte(nil), buf[:n]...))
+			if err != nil {
+				continue
+			}
+			select {
+			case u.tasks <- func() { u.node.HandleMessage(env) }:
+			case <-u.done:
+				return
+			default: // overload: drop, UDP-style
+			}
+		}
+	}()
+	// Executor.
+	go func() {
+		defer u.wg.Done()
+		sweep := time.NewTicker(time.Second)
+		defer sweep.Stop()
+		for {
+			select {
+			case <-u.done:
+				return
+			case t := <-u.tasks:
+				t()
+			case <-sweep.C:
+				u.node.Sweep()
+			}
+		}
+	}()
+}
+
+// Stop closes the socket and waits for the goroutines.
+func (u *UDPNode) Stop() {
+	select {
+	case <-u.done:
+		return
+	default:
+	}
+	close(u.done)
+	u.conn.Close()
+	u.wg.Wait()
+}

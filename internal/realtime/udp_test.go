@@ -1,0 +1,102 @@
+package realtime
+
+import (
+	"testing"
+	"time"
+
+	"p2go/internal/engine"
+	"p2go/internal/overlog"
+	"p2go/internal/tuple"
+)
+
+func TestDatagramRoundTrip(t *testing.T) {
+	raw := tuple.Marshal(nil, tuple.New("x", tuple.Str("n1"), tuple.Int(7)))
+	env := engine.Envelope{Src: "n2", SrcTupleID: 42, Raw: raw}
+	got, err := decodeDatagram(encodeDatagram(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != "n2" || got.SrcTupleID != 42 || len(got.Raw) != len(raw) {
+		t.Errorf("round trip = %+v", got)
+	}
+	// Truncations fail cleanly.
+	enc := encodeDatagram(env)
+	for _, cut := range []int{0, 1, 2} {
+		if _, err := decodeDatagram(enc[:cut]); err == nil && cut < 3 {
+			t.Errorf("truncation to %d must fail", cut)
+		}
+	}
+}
+
+// TestUDPPairPing: two nodes on real loopback UDP sockets exchange
+// tuples driven by the same OverLog that runs under the simulator.
+func TestUDPPairPing(t *testing.T) {
+	prog := overlog.MustParse(`
+materialize(heard, infinity, infinity, keys(1,2)).
+g1 hello@Peer(N, X) :- say@N(Peer, X).
+g2 heard@N(From, X) :- hello@N(From, X).
+`)
+	mk := func(addr string) *UDPNode {
+		u, err := NewUDPNode(UDPNodeConfig{
+			Addr: addr, Listen: "127.0.0.1:0", Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := u.Node().InstallProgram(prog); err != nil {
+			t.Fatal(err)
+		}
+		return u
+	}
+	a, b := mk("a"), mk("b")
+	defer a.Stop()
+	defer b.Stop()
+	if err := a.AddPeer("b", b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddPeer("a", a.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	b.Start()
+	if err := a.Inject(tuple.New("say", tuple.Str("a"), tuple.Str("b"), tuple.Int(99))); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		// Reading the node concurrently is not allowed; ask via a probe
+		// tuple instead: stop-the-world check after a grace period.
+		time.Sleep(50 * time.Millisecond)
+		if heardOnB(b) {
+			return
+		}
+	}
+	t.Fatal("b never heard a's message over UDP")
+}
+
+// heardOnB stops b's executor briefly by piggybacking a read task.
+func heardOnB(b *UDPNode) bool {
+	res := make(chan bool, 1)
+	err := b.Inject(tuple.New("nopQuery", tuple.Str("b")))
+	if err != nil {
+		return false
+	}
+	// The injection above serializes behind any pending work; now read
+	// through another task to stay on the executor goroutine.
+	select {
+	case b.tasks <- func() {
+		n := 0
+		tb := b.node.Store().Get("heard")
+		tb.Scan(1e12, func(tuple.Tuple) { n++ })
+		res <- n > 0
+	}:
+	case <-b.done:
+		return false
+	}
+	select {
+	case v := <-res:
+		return v
+	case <-time.After(time.Second):
+		return false
+	}
+}

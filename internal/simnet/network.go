@@ -1,0 +1,303 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"p2go/internal/engine"
+	"p2go/internal/metrics"
+	"p2go/internal/trace"
+	"p2go/internal/tuple"
+)
+
+// Config configures a simulated network.
+type Config struct {
+	// Seed drives every random choice (delays, loss, node RNGs), making
+	// runs reproducible.
+	Seed int64
+	// MinDelay and MaxDelay bound the uniformly sampled one-way message
+	// latency in seconds. Defaults: 5-25 ms.
+	MinDelay, MaxDelay float64
+	// LossProb drops each message independently with this probability.
+	LossProb float64
+	// SweepInterval is how often each node expires soft state; default
+	// 1 s of virtual time.
+	SweepInterval float64
+	// Tracing, when non-nil, enables execution logging on every node.
+	Tracing *trace.Config
+	// OnWatch and OnRuleError hook watched tuples and rule errors; the
+	// node address is prepended.
+	OnWatch     func(now float64, node string, t tuple.Tuple)
+	OnRuleError func(now float64, node string, ruleID string, err error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxDelay == 0 {
+		c.MinDelay, c.MaxDelay = 0.005, 0.025
+	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = 1.0
+	}
+	return c
+}
+
+type host struct {
+	node      *engine.Node
+	addr      string
+	queue     []func() float64
+	busyUntil float64
+	kickAt    float64 // time of the scheduled kick; <0 when none
+	down      bool
+}
+
+// Network connects engine nodes over the simulator.
+type Network struct {
+	sim   *Sim
+	cfg   Config
+	rng   *rand.Rand
+	hosts map[string]*host
+	// lastArrival enforces per-link FIFO delivery.
+	lastArrival map[[2]string]float64
+	// blocked holds severed directed links (partition injection).
+	blocked map[[2]string]bool
+	// Dropped counts messages lost to sampling, partitions, or dead
+	// nodes.
+	Dropped int64
+}
+
+// NewNetwork creates an empty network on sim.
+func NewNetwork(sim *Sim, cfg Config) *Network {
+	cfg = cfg.withDefaults()
+	return &Network{
+		sim:         sim,
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		hosts:       make(map[string]*host),
+		lastArrival: make(map[[2]string]float64),
+		blocked:     make(map[[2]string]bool),
+	}
+}
+
+// Sim returns the underlying scheduler.
+func (n *Network) Sim() *Sim { return n.sim }
+
+// AddNode creates and wires a node. Programs are installed by the caller.
+func (n *Network) AddNode(addr string) (*engine.Node, error) {
+	if _, ok := n.hosts[addr]; ok {
+		return nil, fmt.Errorf("simnet: node %s already exists", addr)
+	}
+	h := &host{addr: addr, kickAt: -1}
+	cfg := engine.Config{
+		Addr:  addr,
+		Seed:  n.rng.Int63(),
+		Clock: n.sim.Now,
+		Send: func(dst string, env engine.Envelope, at float64) {
+			n.deliver(addr, dst, env, at)
+		},
+		OnNewPeriodic: func(p *engine.Periodic) { n.schedulePeriodic(h, p) },
+	}
+	if n.cfg.OnWatch != nil {
+		cfg.OnWatch = func(now float64, t tuple.Tuple) { n.cfg.OnWatch(now, addr, t) }
+	}
+	if n.cfg.OnRuleError != nil {
+		cfg.OnRuleError = func(now float64, ruleID string, err error) {
+			n.cfg.OnRuleError(now, addr, ruleID, err)
+		}
+	}
+	h.node = engine.NewNode(cfg)
+	if n.cfg.Tracing != nil {
+		if err := h.node.EnableTracing(*n.cfg.Tracing); err != nil {
+			return nil, err
+		}
+	}
+	n.hosts[addr] = h
+	// Periodic soft-state sweeps.
+	var sweep func()
+	sweep = func() {
+		if !h.down {
+			n.enqueue(h, h.node.Sweep)
+		}
+		n.sim.After(n.cfg.SweepInterval, sweep)
+	}
+	n.sim.After(n.cfg.SweepInterval, sweep)
+	return h.node, nil
+}
+
+// Node returns a node by address, or nil.
+func (n *Network) Node(addr string) *engine.Node {
+	if h, ok := n.hosts[addr]; ok {
+		return h.node
+	}
+	return nil
+}
+
+// Addrs returns all node addresses, sorted.
+func (n *Network) Addrs() []string {
+	out := make([]string, 0, len(n.hosts))
+	for a := range n.hosts {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// deliver routes one message; called from inside node task execution.
+func (n *Network) deliver(src, dst string, env engine.Envelope, at float64) {
+	h, ok := n.hosts[dst]
+	if !ok || h.down || n.blocked[[2]string{src, dst}] {
+		n.Dropped++
+		return
+	}
+	if n.cfg.LossProb > 0 && n.rng.Float64() < n.cfg.LossProb {
+		n.Dropped++
+		return
+	}
+	delay := n.cfg.MinDelay + n.rng.Float64()*(n.cfg.MaxDelay-n.cfg.MinDelay)
+	arrival := at + delay
+	link := [2]string{src, dst}
+	if last := n.lastArrival[link]; arrival <= last {
+		arrival = last + 1e-9 // FIFO per link
+	}
+	n.lastArrival[link] = arrival
+	n.sim.At(arrival, func() {
+		if h.down {
+			n.Dropped++
+			return
+		}
+		n.enqueue(h, func() float64 { return h.node.HandleMessage(env) })
+	})
+}
+
+// enqueue adds a CPU task to the host's run queue and kicks the server.
+func (n *Network) enqueue(h *host, task func() float64) {
+	h.queue = append(h.queue, task)
+	n.kick(h)
+}
+
+// kick runs queued tasks if the host CPU is free, else schedules a retry
+// at busyUntil. The node is a single-server queue: task start time is
+// max(now, busyUntil), and each task's simulated cost extends busyUntil.
+func (n *Network) kick(h *host) {
+	now := n.sim.Now()
+	if h.busyUntil > now {
+		if h.kickAt < 0 || h.kickAt > h.busyUntil {
+			h.kickAt = h.busyUntil
+			n.sim.At(h.busyUntil, func() {
+				h.kickAt = -1
+				n.kick(h)
+			})
+		}
+		return
+	}
+	for len(h.queue) > 0 {
+		if h.down {
+			h.queue = nil
+			return
+		}
+		task := h.queue[0]
+		h.queue = h.queue[1:]
+		cost := task()
+		h.busyUntil = n.sim.Now() + cost
+		if h.busyUntil > n.sim.Now() && len(h.queue) > 0 {
+			// Still busy: resume when the CPU frees up.
+			n.kick(h)
+			return
+		}
+	}
+}
+
+// schedulePeriodic arms a periodic trigger with a random initial phase
+// (staggering, as independent processes would naturally have).
+func (n *Network) schedulePeriodic(h *host, p *engine.Periodic) {
+	first := n.sim.Now() + p.Period()*(0.05+0.95*n.rng.Float64())
+	var fire func()
+	at := first
+	fire = func() {
+		if h.down || p.Done() {
+			return
+		}
+		n.enqueue(h, func() float64 { return h.node.HandleTimer(p) })
+		at += p.Period()
+		n.sim.At(at, fire)
+	}
+	n.sim.At(at, fire)
+}
+
+// Inject delivers a tuple to a node as a local event at the current time.
+func (n *Network) Inject(addr string, t tuple.Tuple) error {
+	h, ok := n.hosts[addr]
+	if !ok {
+		return fmt.Errorf("simnet: no node %s", addr)
+	}
+	n.enqueue(h, func() float64 { return h.node.HandleLocal(t) })
+	return nil
+}
+
+// InjectAt schedules a local tuple delivery at absolute virtual time at.
+func (n *Network) InjectAt(at float64, addr string, t tuple.Tuple) error {
+	h, ok := n.hosts[addr]
+	if !ok {
+		return fmt.Errorf("simnet: no node %s", addr)
+	}
+	n.sim.At(at, func() {
+		if !h.down {
+			n.enqueue(h, func() float64 { return h.node.HandleLocal(t) })
+		}
+	})
+	return nil
+}
+
+// Crash fail-stops a node: pending tasks are discarded, future messages
+// and timers are dropped.
+func (n *Network) Crash(addr string) {
+	if h, ok := n.hosts[addr]; ok {
+		h.down = true
+		h.queue = nil
+	}
+}
+
+// Revive brings a crashed node back (state intact — a restart-with-disk
+// model; tests that need amnesia create a fresh node instead).
+func (n *Network) Revive(addr string) {
+	if h, ok := n.hosts[addr]; ok {
+		h.down = false
+	}
+}
+
+// Partition severs both directions between a and b; Heal restores them.
+func (n *Network) Partition(a, b string) {
+	n.blocked[[2]string{a, b}] = true
+	n.blocked[[2]string{b, a}] = true
+}
+
+// Heal removes a partition between a and b.
+func (n *Network) Heal(a, b string) {
+	delete(n.blocked, [2]string{a, b})
+	delete(n.blocked, [2]string{b, a})
+}
+
+// Run advances the simulation to absolute virtual time t.
+func (n *Network) Run(t float64) { n.sim.Run(t) }
+
+// RunFor advances the simulation by d seconds.
+func (n *Network) RunFor(d float64) { n.sim.Run(n.sim.Now() + d) }
+
+// TotalMetrics sums node counters across the network.
+func (n *Network) TotalMetrics() metrics.Node {
+	var total metrics.Node
+	for _, h := range n.hosts {
+		m := h.node.Metrics()
+		total.BusySeconds += m.BusySeconds
+		total.MsgsSent += m.MsgsSent
+		total.MsgsRecv += m.MsgsRecv
+		total.BytesSent += m.BytesSent
+		total.BytesRecv += m.BytesRecv
+		total.TuplesProcessed += m.TuplesProcessed
+		total.RuleFires += m.RuleFires
+		total.HeadsEmitted += m.HeadsEmitted
+		total.RuleErrors += m.RuleErrors
+		total.TimerFires += m.TimerFires
+	}
+	return total
+}

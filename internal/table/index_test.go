@@ -1,0 +1,118 @@
+package table
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"p2go/internal/tuple"
+)
+
+func TestMatchIndexedBasics(t *testing.T) {
+	tb := New(Spec{Name: "succ", Lifetime: Infinity, MaxSize: Infinity, Keys: []int{2}})
+	tb.Insert(succ("n1", 1, "a"), 0) //nolint:errcheck
+	tb.Insert(succ("n1", 2, "b"), 0) //nolint:errcheck
+	tb.Insert(succ("n2", 3, "b"), 0) //nolint:errcheck
+
+	var got []uint64
+	visited := tb.MatchIndexed(0, []int{0, 2},
+		[]tuple.Value{tuple.Str("n1"), tuple.Str("b")},
+		func(tp tuple.Tuple) { got = append(got, tp.Field(1).AsID()) })
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("matched = %v, want [2]", got)
+	}
+	if visited < 1 {
+		t.Errorf("visited = %d", visited)
+	}
+	// Empty-bucket probes visit nothing.
+	if v := tb.MatchIndexed(0, []int{0, 2},
+		[]tuple.Value{tuple.Str("zz"), tuple.Str("b")}, func(tuple.Tuple) {
+			t.Error("unexpected match")
+		}); v != 0 {
+		t.Errorf("visited empty bucket = %d", v)
+	}
+}
+
+func TestIndexTracksMutations(t *testing.T) {
+	tb := New(Spec{Name: "succ", Lifetime: 10, MaxSize: 3, Keys: []int{2}})
+	probe := func(addr string) int {
+		n := 0
+		tb.MatchIndexed(0, []int{2}, []tuple.Value{tuple.Str(addr)},
+			func(tuple.Tuple) { n++ })
+		return n
+	}
+	tb.Insert(succ("n1", 1, "a"), 0) //nolint:errcheck
+	if probe("a") != 1 {
+		t.Fatal("index missed insert")
+	}
+	// Replacement by primary key: old row leaves the index view.
+	tb.Insert(succ("n1", 1, "b"), 0) //nolint:errcheck
+	if probe("a") != 0 || probe("b") != 1 {
+		t.Error("index stale after replacement")
+	}
+	// Eviction (MaxSize 3).
+	for i := uint64(2); i <= 5; i++ {
+		tb.Insert(succ("n1", i, "b"), 0) //nolint:errcheck
+	}
+	if got := probe("b"); got != 3 {
+		t.Errorf("indexed rows after eviction = %d, want 3", got)
+	}
+	// Expiry.
+	tb.Expire(11)
+	if probe("b") != 0 {
+		t.Error("index returned expired rows")
+	}
+	// DeleteKey.
+	tb.Insert(succ("n1", 9, "c"), 20) //nolint:errcheck
+	tb.DeleteKey(succ("n1", 9, "zzz"))
+	if probe("c") != 0 {
+		t.Error("index returned key-deleted rows")
+	}
+}
+
+// Property: for random insert/delete/expire sequences, MatchIndexed
+// returns exactly the rows a filtered Scan returns.
+func TestIndexEquivalentToScanProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tb := New(Spec{Name: "succ", Lifetime: 20, MaxSize: 12, Keys: []int{2}})
+		r := rand.New(rand.NewSource(7))
+		now := 0.0
+		for _, op := range ops {
+			now += float64(op%7) * 0.5
+			id := uint64(op % 17)
+			addr := string(rune('a' + int(op%3)))
+			switch op % 5 {
+			case 0, 1, 2:
+				tb.Insert(succ("n1", id, addr), now) //nolint:errcheck
+			case 3:
+				tb.DeleteKey(succ("n1", id, "x"))
+			case 4:
+				tb.Expire(now)
+			}
+			// Compare index vs scan for a random probe.
+			want := map[uint64]int{}
+			probeAddr := string(rune('a' + r.Intn(3)))
+			tb.Scan(now, func(tp tuple.Tuple) {
+				if tp.Field(2).AsStr() == probeAddr {
+					want[tp.Field(1).AsID()]++
+				}
+			})
+			got := map[uint64]int{}
+			tb.MatchIndexed(now, []int{0, 2},
+				[]tuple.Value{tuple.Str("n1"), tuple.Str(probeAddr)},
+				func(tp tuple.Tuple) { got[tp.Field(1).AsID()]++ })
+			if len(got) != len(want) {
+				return false
+			}
+			for k, v := range want {
+				if got[k] != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

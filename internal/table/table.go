@@ -1,0 +1,598 @@
+// Package table implements P2's soft-state tables: bounded, TTL-expiring
+// collections of tuples declared by OverLog materialize() statements.
+//
+// Each table has a primary key (a list of 1-based field positions).
+// Inserting a tuple whose key matches an existing row replaces that row;
+// inserting a tuple identical to an existing row only refreshes its TTL
+// (and does not fire listeners), which keeps recursive delta-triggered
+// rules from looping on their own output.
+//
+// Tables expire rows lazily against a caller-supplied virtual clock and
+// evict the oldest row (FIFO) when the size bound is exceeded, matching
+// P2's behaviour.
+package table
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"p2go/internal/tuple"
+)
+
+// Infinity marks an unbounded lifetime or size in a Spec.
+const Infinity = -1
+
+// Spec describes a materialized table, mirroring the arguments of the
+// OverLog construct materialize(name, lifetime, size, keys(...)).
+type Spec struct {
+	// Name is the predicate name stored in this table.
+	Name string
+	// Lifetime is the row TTL in seconds; Infinity (-1) means rows never
+	// expire.
+	Lifetime float64
+	// MaxSize bounds the number of rows; Infinity (-1) means unbounded.
+	// When an insert would exceed the bound, the oldest row is evicted.
+	MaxSize int
+	// Keys lists the 1-based field positions forming the primary key
+	// (position 1 is the location specifier). Empty means the whole
+	// tuple is the key.
+	Keys []int
+}
+
+// Op identifies the kind of change reported to listeners.
+type Op uint8
+
+const (
+	// OpInsert reports a new or replacing row.
+	OpInsert Op = iota
+	// OpDelete reports a removed row (explicit delete, replacement of a
+	// same-key row, expiry, or eviction).
+	OpDelete
+)
+
+// Listener observes table changes. Listeners run synchronously inside the
+// mutation; they must not mutate the table reentrantly.
+type Listener func(op Op, t tuple.Tuple)
+
+type row struct {
+	t      tuple.Tuple
+	expiry float64 // virtual seconds; +Inf = never
+	seq    uint64  // insertion order, for FIFO eviction
+}
+
+// Table is a single soft-state table. Tables are not safe for concurrent
+// use; the engine serializes all access within a node's event loop.
+type Table struct {
+	spec      Spec
+	rows      map[uint64][]row // key hash -> rows with that hash
+	count     int
+	seq       uint64
+	listeners []Listener
+	// fifo tracks insertion order for O(1) amortized eviction: seq ->
+	// key hash, lazily invalidated via seqs.
+	fifo []fifoRef
+	seqs map[uint64]uint64 // live row seq -> key hash
+	// soonest lower-bounds the earliest row expiry, letting expiry
+	// sweeps exit without touching any bucket.
+	soonest float64
+	// indexes holds secondary join indexes (see EnsureIndex).
+	indexes map[string]*index
+}
+
+type fifoRef struct {
+	seq  uint64
+	hash uint64
+}
+
+// New creates an empty table from the given spec.
+func New(spec Spec) *Table {
+	return &Table{
+		spec:    spec,
+		rows:    make(map[uint64][]row),
+		seqs:    make(map[uint64]uint64),
+		soonest: math.Inf(1),
+	}
+}
+
+// Spec returns the table's declaration.
+func (tb *Table) Spec() Spec { return tb.spec }
+
+// Name returns the predicate name stored in the table.
+func (tb *Table) Name() string { return tb.spec.Name }
+
+// Count returns the number of live rows. Callers should Expire first if
+// they need the count at a particular instant.
+func (tb *Table) Count() int { return tb.count }
+
+// Subscribe registers a listener for subsequent changes.
+func (tb *Table) Subscribe(l Listener) { tb.listeners = append(tb.listeners, l) }
+
+func (tb *Table) notify(op Op, t tuple.Tuple) {
+	for _, l := range tb.listeners {
+		l(op, t)
+	}
+}
+
+func (tb *Table) keyOf(t tuple.Tuple) uint64 {
+	if len(tb.spec.Keys) == 0 {
+		return t.Hash()
+	}
+	return t.KeyHash(tb.spec.Keys)
+}
+
+func (tb *Table) sameKey(a, b tuple.Tuple) bool {
+	if len(tb.spec.Keys) == 0 {
+		return a.Equal(b)
+	}
+	return a.KeyEqual(b, tb.spec.Keys)
+}
+
+// Insert adds t at virtual time now (seconds). It returns true if the
+// table changed (new row or replacement), false if an identical row merely
+// had its TTL refreshed. Name mismatches are rejected with an error.
+func (tb *Table) Insert(t tuple.Tuple, now float64) (bool, error) {
+	if t.Name != tb.spec.Name {
+		return false, fmt.Errorf("table %s: cannot insert %s tuple", tb.spec.Name, t.Name)
+	}
+	tb.expireLocked(now)
+	expiry := math.Inf(1)
+	if tb.spec.Lifetime >= 0 {
+		expiry = now + tb.spec.Lifetime
+		if expiry < tb.soonest {
+			tb.soonest = expiry
+		}
+	}
+	h := tb.keyOf(t)
+	bucket := tb.rows[h]
+	for i := range bucket {
+		if !tb.sameKey(bucket[i].t, t) {
+			continue
+		}
+		if bucket[i].t.Equal(t) {
+			// Identical content: refresh TTL only.
+			bucket[i].expiry = expiry
+			return false, nil
+		}
+		old := bucket[i].t
+		delete(tb.seqs, bucket[i].seq)
+		tb.seq++
+		bucket[i] = row{t: t, expiry: expiry, seq: tb.seq}
+		tb.trackSeq(tb.seq, h)
+		tb.indexInsert(t, tb.seq)
+		tb.notify(OpDelete, old)
+		tb.notify(OpInsert, t)
+		return true, nil
+	}
+	tb.seq++
+	tb.rows[h] = append(bucket, row{t: t, expiry: expiry, seq: tb.seq})
+	tb.trackSeq(tb.seq, h)
+	tb.indexInsert(t, tb.seq)
+	tb.count++
+	if tb.spec.MaxSize >= 0 && tb.count > tb.spec.MaxSize {
+		tb.evictOldest(t)
+	}
+	tb.notify(OpInsert, t)
+	return true, nil
+}
+
+// trackSeq records insertion order and occasionally compacts the lazily
+// invalidated FIFO index.
+func (tb *Table) trackSeq(seq, hash uint64) {
+	tb.seqs[seq] = hash
+	tb.fifo = append(tb.fifo, fifoRef{seq: seq, hash: hash})
+	if len(tb.fifo) > 64 && len(tb.fifo) > 4*len(tb.seqs) {
+		live := tb.fifo[:0]
+		for _, ref := range tb.fifo {
+			if _, ok := tb.seqs[ref.seq]; ok {
+				live = append(live, ref)
+			}
+		}
+		tb.fifo = live
+	}
+}
+
+// evictOldest removes the FIFO-oldest row, never the just-inserted keep.
+func (tb *Table) evictOldest(keep tuple.Tuple) {
+	for len(tb.fifo) > 0 {
+		ref := tb.fifo[0]
+		if _, live := tb.seqs[ref.seq]; !live {
+			tb.fifo = tb.fifo[1:]
+			continue
+		}
+		bucket := tb.rows[ref.hash]
+		for i := range bucket {
+			if bucket[i].seq != ref.seq {
+				continue
+			}
+			if bucket[i].t.Equal(keep) {
+				// The just-inserted row can only be the FIFO head
+				// when it is the sole live row (MaxSize 0); never
+				// evict it.
+				return
+			}
+			victim := bucket[i].t
+			tb.removeAt(ref.hash, i)
+			tb.notify(OpDelete, victim)
+			return
+		}
+		// Stale ref (row replaced); drop it.
+		tb.fifo = tb.fifo[1:]
+	}
+}
+
+func (tb *Table) removeAt(h uint64, i int) {
+	bucket := tb.rows[h]
+	delete(tb.seqs, bucket[i].seq)
+	bucket[i] = bucket[len(bucket)-1]
+	bucket = bucket[:len(bucket)-1]
+	if len(bucket) == 0 {
+		delete(tb.rows, h)
+	} else {
+		tb.rows[h] = bucket
+	}
+	tb.count--
+}
+
+// DeleteKey removes every row whose primary key equals sample's, without
+// scanning the table (used by the tracer's reference-counted flushes).
+func (tb *Table) DeleteKey(sample tuple.Tuple) []tuple.Tuple {
+	h := tb.keyOf(sample)
+	bucket := tb.rows[h]
+	var removed []tuple.Tuple
+	for i := 0; i < len(bucket); {
+		if tb.sameKey(bucket[i].t, sample) {
+			removed = append(removed, bucket[i].t)
+			delete(tb.seqs, bucket[i].seq)
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			tb.count--
+		} else {
+			i++
+		}
+	}
+	if len(bucket) == 0 {
+		delete(tb.rows, h)
+	} else {
+		tb.rows[h] = bucket
+	}
+	for _, t := range removed {
+		tb.notify(OpDelete, t)
+	}
+	return removed
+}
+
+// Delete removes every row unifiable with the pattern: fields in pattern
+// that are non-nil must Equal the row's corresponding field; nil fields
+// are wildcards. It returns the removed tuples.
+func (tb *Table) Delete(pattern tuple.Tuple, now float64) []tuple.Tuple {
+	tb.expireLocked(now)
+	var removed []tuple.Tuple
+	for h, bucket := range tb.rows {
+		for i := 0; i < len(bucket); {
+			if matchPattern(bucket[i].t, pattern) {
+				removed = append(removed, bucket[i].t)
+				delete(tb.seqs, bucket[i].seq)
+				bucket[i] = bucket[len(bucket)-1]
+				bucket = bucket[:len(bucket)-1]
+				tb.count--
+			} else {
+				i++
+			}
+		}
+		if len(bucket) == 0 {
+			delete(tb.rows, h)
+		} else {
+			tb.rows[h] = bucket
+		}
+	}
+	for _, t := range removed {
+		tb.notify(OpDelete, t)
+	}
+	return removed
+}
+
+func matchPattern(t, pattern tuple.Tuple) bool {
+	if t.Name != pattern.Name || len(t.Fields) != len(pattern.Fields) {
+		return false
+	}
+	for i, p := range pattern.Fields {
+		if p.IsNil() {
+			continue
+		}
+		if !t.Fields[i].Equal(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Scan calls fn for every live row at time now. Iteration order is
+// deterministic (insertion order). fn must not mutate the table.
+func (tb *Table) Scan(now float64, fn func(tuple.Tuple)) {
+	tb.expireLocked(now)
+	rows := make([]row, 0, tb.count)
+	for _, bucket := range tb.rows {
+		rows = append(rows, bucket...)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].seq < rows[j].seq })
+	for _, r := range rows {
+		fn(r.t)
+	}
+}
+
+// Match calls fn for every live row whose fields at the given 0-based
+// positions Equal the corresponding values. It is the lookup primitive
+// used by join elements.
+func (tb *Table) Match(now float64, positions []int, values []tuple.Value, fn func(tuple.Tuple)) {
+	tb.Scan(now, func(t tuple.Tuple) {
+		for i, p := range positions {
+			if p >= len(t.Fields) || !t.Fields[p].Equal(values[i]) {
+				return
+			}
+		}
+		fn(t)
+	})
+}
+
+// Expire removes rows whose TTL elapsed by now, firing delete listeners.
+func (tb *Table) Expire(now float64) { tb.expireLocked(now) }
+
+func (tb *Table) expireLocked(now float64) {
+	if tb.spec.Lifetime < 0 || now < tb.soonest {
+		return
+	}
+	next := math.Inf(1)
+	var expired []tuple.Tuple
+	for h, bucket := range tb.rows {
+		for i := 0; i < len(bucket); {
+			if bucket[i].expiry <= now {
+				expired = append(expired, bucket[i].t)
+				delete(tb.seqs, bucket[i].seq)
+				bucket[i] = bucket[len(bucket)-1]
+				bucket = bucket[:len(bucket)-1]
+				tb.count--
+			} else {
+				if bucket[i].expiry < next {
+					next = bucket[i].expiry
+				}
+				i++
+			}
+		}
+		if len(bucket) == 0 {
+			delete(tb.rows, h)
+		} else {
+			tb.rows[h] = bucket
+		}
+	}
+	tb.soonest = next
+	for _, t := range expired {
+		tb.notify(OpDelete, t)
+	}
+}
+
+// NextExpiry returns the earliest row expiry time, or +Inf when nothing
+// expires. The engine uses it to schedule expiry sweeps.
+func (tb *Table) NextExpiry() float64 {
+	next := math.Inf(1)
+	for _, bucket := range tb.rows {
+		for _, r := range bucket {
+			if r.expiry < next {
+				next = r.expiry
+			}
+		}
+	}
+	return next
+}
+
+// SizeBytes estimates the memory footprint of all live rows.
+func (tb *Table) SizeBytes() int {
+	n := 0
+	for _, bucket := range tb.rows {
+		for _, r := range bucket {
+			n += r.t.SizeBytes()
+		}
+	}
+	return n
+}
+
+// Store is the per-node collection of tables.
+type Store struct {
+	tables map[string]*Table
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{tables: make(map[string]*Table)}
+}
+
+// Materialize creates (or returns the existing) table for the spec. A
+// respecification with a different shape is an error: OverLog programs
+// may be composed on-line, but a predicate's storage is declared once.
+func (s *Store) Materialize(spec Spec) (*Table, error) {
+	if tb, ok := s.tables[spec.Name]; ok {
+		old := tb.spec
+		if old.Lifetime != spec.Lifetime || old.MaxSize != spec.MaxSize ||
+			len(old.Keys) != len(spec.Keys) {
+			return nil, fmt.Errorf("table %s already materialized with different spec", spec.Name)
+		}
+		for i := range old.Keys {
+			if old.Keys[i] != spec.Keys[i] {
+				return nil, fmt.Errorf("table %s already materialized with different keys", spec.Name)
+			}
+		}
+		return tb, nil
+	}
+	tb := New(spec)
+	s.tables[spec.Name] = tb
+	return tb, nil
+}
+
+// Get returns the table for a predicate, or nil if the predicate is not
+// materialized (i.e. it is an event).
+func (s *Store) Get(name string) *Table { return s.tables[name] }
+
+// Names returns the materialized predicate names in sorted order.
+func (s *Store) Names() []string {
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LiveTuples returns the total number of live rows across all tables.
+func (s *Store) LiveTuples() int {
+	n := 0
+	for _, tb := range s.tables {
+		n += tb.count
+	}
+	return n
+}
+
+// SizeBytes estimates total memory held by all tables.
+func (s *Store) SizeBytes() int {
+	n := 0
+	for _, tb := range s.tables {
+		n += tb.SizeBytes()
+	}
+	return n
+}
+
+// ExpireAll sweeps every table at time now.
+func (s *Store) ExpireAll(now float64) {
+	for _, tb := range s.tables {
+		tb.Expire(now)
+	}
+}
+
+// NextExpiry returns the earliest expiry across all tables, or +Inf.
+func (s *Store) NextExpiry() float64 {
+	next := math.Inf(1)
+	for _, tb := range s.tables {
+		if e := tb.NextExpiry(); e < next {
+			next = e
+		}
+	}
+	return next
+}
+
+// index is a secondary hash index over a set of 0-based field positions.
+// Buckets hold row seqs and are compacted lazily: dead seqs are skipped
+// and dropped during lookups.
+type index struct {
+	positions []int
+	buckets   map[uint64][]uint64
+}
+
+func indexKey(positions []int) string {
+	b := make([]byte, 0, 2*len(positions))
+	for _, p := range positions {
+		b = append(b, byte(p), ':')
+	}
+	return string(b)
+}
+
+func (ix *index) keyOfRow(t tuple.Tuple) uint64 {
+	vals := make([]tuple.Value, len(ix.positions))
+	for i, p := range ix.positions {
+		if p < len(t.Fields) {
+			vals[i] = t.Fields[p]
+		}
+	}
+	return tuple.HashValues(vals)
+}
+
+// EnsureIndex creates (or returns) a secondary index over the given
+// 0-based field positions, backfilling it from live rows. The engine
+// calls it once per distinct join access path; joins then probe buckets
+// instead of scanning the table (P2's planner-created join indices).
+func (tb *Table) EnsureIndex(positions []int) {
+	key := indexKey(positions)
+	if tb.indexes == nil {
+		tb.indexes = make(map[string]*index)
+	}
+	if _, ok := tb.indexes[key]; ok {
+		return
+	}
+	ix := &index{positions: positions, buckets: make(map[uint64][]uint64)}
+	for h, bucket := range tb.rows {
+		_ = h
+		for i := range bucket {
+			k := ix.keyOfRow(bucket[i].t)
+			ix.buckets[k] = append(ix.buckets[k], bucket[i].seq)
+		}
+	}
+	tb.indexes[key] = ix
+}
+
+// indexInsert registers a fresh row in every secondary index.
+func (tb *Table) indexInsert(t tuple.Tuple, seq uint64) {
+	for _, ix := range tb.indexes {
+		k := ix.keyOfRow(t)
+		ix.buckets[k] = append(ix.buckets[k], seq)
+	}
+}
+
+// MatchIndexed calls fn for every live row whose fields at the 0-based
+// positions Equal values, probing the secondary index for those
+// positions (created on first use). The number of candidate rows visited
+// is returned so callers can bill per-probe costs. Hash collisions are
+// filtered by the Equal checks.
+func (tb *Table) MatchIndexed(now float64, positions []int, values []tuple.Value, fn func(tuple.Tuple)) int {
+	tb.expireLocked(now)
+	tb.EnsureIndex(positions)
+	ix := tb.indexes[indexKey(positions)]
+	k := tuple.HashValues(values)
+	bucket := ix.buckets[k]
+	if len(bucket) == 0 {
+		return 0
+	}
+	visited := 0
+	// Compaction writes into a FRESH slice, never in place: fn may
+	// re-enter this table (a rule self-join probing the same bucket),
+	// and in-place filtering would alias the array being iterated.
+	var live []uint64
+	for i, seq := range bucket {
+		h, ok := tb.seqs[seq]
+		if !ok {
+			if live == nil {
+				live = append(make([]uint64, 0, len(bucket)-1), bucket[:i]...)
+			}
+			continue // dead row: compact away
+		}
+		if live != nil {
+			live = append(live, seq)
+		}
+		var row *tuple.Tuple
+		for j := range tb.rows[h] {
+			if tb.rows[h][j].seq == seq {
+				row = &tb.rows[h][j].t
+				break
+			}
+		}
+		if row == nil {
+			continue
+		}
+		visited++
+		match := true
+		for j, p := range positions {
+			if p >= len(row.Fields) || !row.Fields[p].Equal(values[j]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			fn(*row)
+		}
+	}
+	if live != nil {
+		if len(live) == 0 {
+			delete(ix.buckets, k)
+		} else {
+			ix.buckets[k] = live
+		}
+	}
+	return visited
+}

@@ -1,0 +1,231 @@
+package table
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"p2go/internal/tuple"
+)
+
+func succ(loc string, id uint64, addr string) tuple.Tuple {
+	return tuple.New("succ", tuple.Str(loc), tuple.ID(id), tuple.Str(addr))
+}
+
+func TestInsertAndCount(t *testing.T) {
+	tb := New(Spec{Name: "succ", Lifetime: Infinity, MaxSize: Infinity, Keys: []int{2}})
+	changed, err := tb.Insert(succ("n1", 10, "n2"), 0)
+	if err != nil || !changed {
+		t.Fatalf("insert: changed=%v err=%v", changed, err)
+	}
+	if tb.Count() != 1 {
+		t.Fatalf("count = %d", tb.Count())
+	}
+	if _, err := tb.Insert(tuple.New("other", tuple.Str("n1")), 0); err == nil {
+		t.Error("wrong-name insert must fail")
+	}
+}
+
+func TestPrimaryKeyReplacement(t *testing.T) {
+	tb := New(Spec{Name: "succ", Lifetime: Infinity, MaxSize: Infinity, Keys: []int{2}})
+	var events []string
+	tb.Subscribe(func(op Op, tp tuple.Tuple) {
+		if op == OpInsert {
+			events = append(events, "ins:"+tp.Field(2).AsStr())
+		} else {
+			events = append(events, "del:"+tp.Field(2).AsStr())
+		}
+	})
+	tb.Insert(succ("n1", 10, "n2"), 0)
+	// Same key (ID 10), different addr: replaces.
+	tb.Insert(succ("n1", 10, "n3"), 0)
+	if tb.Count() != 1 {
+		t.Fatalf("count = %d, want 1 after replacement", tb.Count())
+	}
+	want := []string{"ins:n2", "del:n2", "ins:n3"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v", events)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+}
+
+func TestIdenticalInsertRefreshesWithoutNotify(t *testing.T) {
+	tb := New(Spec{Name: "succ", Lifetime: 10, MaxSize: Infinity, Keys: []int{2}})
+	fired := 0
+	tb.Subscribe(func(Op, tuple.Tuple) { fired++ })
+	tb.Insert(succ("n1", 10, "n2"), 0)
+	changed, _ := tb.Insert(succ("n1", 10, "n2"), 8)
+	if changed {
+		t.Error("identical insert must report unchanged")
+	}
+	if fired != 1 {
+		t.Errorf("listeners fired %d times, want 1", fired)
+	}
+	// TTL was refreshed at t=8, so the row survives t=12 ...
+	tb.Expire(12)
+	if tb.Count() != 1 {
+		t.Error("row must survive after refresh")
+	}
+	// ... but not t=19.
+	tb.Expire(19)
+	if tb.Count() != 0 {
+		t.Error("row must expire 10s after refresh")
+	}
+}
+
+func TestExpiryFiresDeleteListeners(t *testing.T) {
+	tb := New(Spec{Name: "succ", Lifetime: 5, MaxSize: Infinity, Keys: []int{2}})
+	deletes := 0
+	tb.Subscribe(func(op Op, tp tuple.Tuple) {
+		if op == OpDelete {
+			deletes++
+		}
+	})
+	tb.Insert(succ("n1", 1, "a"), 0)
+	tb.Insert(succ("n1", 2, "b"), 3)
+	tb.Expire(5.5)
+	if tb.Count() != 1 || deletes != 1 {
+		t.Errorf("count=%d deletes=%d, want 1/1", tb.Count(), deletes)
+	}
+	if e := tb.NextExpiry(); e != 8 {
+		t.Errorf("NextExpiry = %v, want 8", e)
+	}
+}
+
+func TestFIFOEviction(t *testing.T) {
+	tb := New(Spec{Name: "succ", Lifetime: Infinity, MaxSize: 3, Keys: []int{2}})
+	for i := uint64(1); i <= 5; i++ {
+		tb.Insert(succ("n1", i, "a"), 0)
+	}
+	if tb.Count() != 3 {
+		t.Fatalf("count = %d, want 3", tb.Count())
+	}
+	// Oldest rows (IDs 1, 2) must have been evicted.
+	var ids []uint64
+	tb.Scan(0, func(tp tuple.Tuple) { ids = append(ids, tp.Field(1).AsID()) })
+	want := []uint64{3, 4, 5}
+	for i, id := range ids {
+		if id != want[i] {
+			t.Fatalf("surviving ids = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestDeleteWithPattern(t *testing.T) {
+	tb := New(Spec{Name: "succ", Lifetime: Infinity, MaxSize: Infinity, Keys: []int{2, 3}})
+	tb.Insert(succ("n1", 1, "a"), 0)
+	tb.Insert(succ("n1", 2, "a"), 0)
+	tb.Insert(succ("n1", 3, "b"), 0)
+	// Delete all rows with addr "a" (ID wildcard).
+	pattern := tuple.New("succ", tuple.Str("n1"), tuple.Nil, tuple.Str("a"))
+	removed := tb.Delete(pattern, 0)
+	if len(removed) != 2 || tb.Count() != 1 {
+		t.Errorf("removed %d rows, count %d; want 2, 1", len(removed), tb.Count())
+	}
+}
+
+func TestMatch(t *testing.T) {
+	tb := New(Spec{Name: "succ", Lifetime: Infinity, MaxSize: Infinity, Keys: []int{2}})
+	tb.Insert(succ("n1", 1, "a"), 0)
+	tb.Insert(succ("n1", 2, "b"), 0)
+	tb.Insert(succ("n2", 3, "b"), 0)
+	n := 0
+	tb.Match(0, []int{0, 2}, []tuple.Value{tuple.Str("n1"), tuple.Str("b")}, func(tuple.Tuple) { n++ })
+	if n != 1 {
+		t.Errorf("matched %d rows, want 1", n)
+	}
+}
+
+func TestScanDeterministicOrder(t *testing.T) {
+	tb := New(Spec{Name: "succ", Lifetime: Infinity, MaxSize: Infinity, Keys: []int{2}})
+	for i := uint64(0); i < 20; i++ {
+		tb.Insert(succ("n1", i*7919%97, "a"), 0)
+	}
+	var first []uint64
+	tb.Scan(0, func(tp tuple.Tuple) { first = append(first, tp.Field(1).AsID()) })
+	var second []uint64
+	tb.Scan(0, func(tp tuple.Tuple) { second = append(second, tp.Field(1).AsID()) })
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatal("scan order not deterministic")
+		}
+	}
+}
+
+func TestStoreMaterializeIdempotent(t *testing.T) {
+	s := NewStore()
+	spec := Spec{Name: "succ", Lifetime: 30, MaxSize: 16, Keys: []int{2}}
+	a, err := s.Materialize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Materialize(spec)
+	if err != nil || a != b {
+		t.Error("re-materialize with same spec must return same table")
+	}
+	if _, err := s.Materialize(Spec{Name: "succ", Lifetime: 60, MaxSize: 16, Keys: []int{2}}); err == nil {
+		t.Error("conflicting respecification must fail")
+	}
+	if s.Get("nope") != nil {
+		t.Error("Get of unmaterialized name must be nil")
+	}
+	if names := s.Names(); len(names) != 1 || names[0] != "succ" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestStoreAccounting(t *testing.T) {
+	s := NewStore()
+	tb, _ := s.Materialize(Spec{Name: "succ", Lifetime: 5, MaxSize: Infinity, Keys: []int{2}})
+	tb.Insert(succ("n1", 1, "a"), 0)
+	tb.Insert(succ("n1", 2, "b"), 1)
+	if s.LiveTuples() != 2 {
+		t.Errorf("LiveTuples = %d", s.LiveTuples())
+	}
+	if s.SizeBytes() <= 0 {
+		t.Error("SizeBytes must be positive")
+	}
+	if e := s.NextExpiry(); e != 5 {
+		t.Errorf("NextExpiry = %v", e)
+	}
+	s.ExpireAll(7)
+	if s.LiveTuples() != 0 {
+		t.Errorf("LiveTuples after expire = %d", s.LiveTuples())
+	}
+	if e := s.NextExpiry(); !math.IsInf(e, 1) {
+		t.Errorf("NextExpiry of empty store = %v", e)
+	}
+}
+
+// Property: a table keyed on field 2 never holds two rows with equal
+// field 2, and never exceeds MaxSize, under arbitrary insert sequences.
+func TestKeyUniquenessProperty(t *testing.T) {
+	f := func(ids []uint8) bool {
+		tb := New(Spec{Name: "succ", Lifetime: Infinity, MaxSize: 8, Keys: []int{2}})
+		r := rand.New(rand.NewSource(1))
+		for _, id := range ids {
+			tb.Insert(succ("n1", uint64(id), string(rune('a'+r.Intn(3)))), 0)
+		}
+		if tb.Count() > 8 {
+			return false
+		}
+		seen := map[uint64]bool{}
+		ok := true
+		tb.Scan(0, func(tp tuple.Tuple) {
+			id := tp.Field(1).AsID()
+			if seen[id] {
+				ok = false
+			}
+			seen[id] = true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,347 @@
+package trace
+
+import (
+	"testing"
+
+	"p2go/internal/dataflow"
+	"p2go/internal/table"
+	"p2go/internal/tuple"
+)
+
+// fixture builds a tracer plus a synthetic strand with the given number
+// of stages.
+func fixture(t *testing.T, stages int, cfg Config) (*Tracer, *table.Store, *dataflow.Strand) {
+	t.Helper()
+	store := table.NewStore()
+	tr, err := New(store, "n1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &dataflow.Strand{RuleID: "r1", Stages: stages}
+	return tr, store, s
+}
+
+func tup(name string, id uint64) tuple.Tuple {
+	return tuple.New(name, tuple.Str("n1"), tuple.ID(id)).WithID(id)
+}
+
+// register tells the tracer about a locally created tuple.
+func register(tr *Tracer, t tuple.Tuple) {
+	tr.Register(t.ID, t, "n1", t.ID, "n1")
+}
+
+func rows(t *testing.T, store *table.Store) []tuple.Tuple {
+	t.Helper()
+	var out []tuple.Tuple
+	store.Get(RuleExecTable).Scan(0, func(tp tuple.Tuple) { out = append(out, tp) })
+	return out
+}
+
+// TestSingleRuleExecution reproduces the paper's §2.1.1 example: rule r1
+// with one precondition produces two ruleExec rows per output — the
+// event causal link and the precondition causal link.
+func TestSingleRuleExecution(t *testing.T) {
+	tr, store, s := fixture(t, 1, DefaultConfig())
+	ev, pre, out := tup("event", 1), tup("prec", 2), tup("head", 3)
+	for _, x := range []tuple.Tuple{ev, pre, out} {
+		register(tr, x)
+	}
+	tr.Input(s, ev, 10)
+	tr.Precond(s, 1, pre, 11)
+	tr.Output(s, out, 12)
+	tr.StageDone(s, 1)
+
+	got := rows(t, store)
+	if len(got) != 2 {
+		t.Fatalf("ruleExec rows = %d, want 2: %v", len(got), got)
+	}
+	// Row 1: (r1, event, head, ts, te, true).
+	var evRow, preRow *tuple.Tuple
+	for i := range got {
+		if got[i].Field(6).AsBool() {
+			evRow = &got[i]
+		} else {
+			preRow = &got[i]
+		}
+	}
+	if evRow == nil || preRow == nil {
+		t.Fatal("missing event or precondition row")
+	}
+	if evRow.Field(2).AsID() != 1 || evRow.Field(3).AsID() != 3 ||
+		evRow.Field(4).AsFloat() != 10 || evRow.Field(5).AsFloat() != 12 {
+		t.Errorf("event row = %v", *evRow)
+	}
+	if preRow.Field(2).AsID() != 2 || preRow.Field(3).AsID() != 3 ||
+		preRow.Field(4).AsFloat() != 11 {
+		t.Errorf("precondition row = %v", *preRow)
+	}
+	// Both tuples are memoized in tupleTable while referenced.
+	if store.Get(TupleTable).Count() != 3 {
+		t.Errorf("tupleTable rows = %d, want 3", store.Get(TupleTable).Count())
+	}
+	if c, ok := tr.Content(1); !ok || c.Name != "event" {
+		t.Errorf("Content(1) = %v, %v", c, ok)
+	}
+}
+
+// TestMultipleMatchesPerInput: several preconditions matching one input
+// produce one pair of rows per output, with the precondition field
+// updated per match (the record is not cleared between outputs).
+func TestMultipleMatchesPerInput(t *testing.T) {
+	tr, store, s := fixture(t, 1, DefaultConfig())
+	ev := tup("event", 1)
+	register(tr, ev)
+	tr.Input(s, ev, 10)
+	for i := uint64(0); i < 3; i++ {
+		pre, out := tup("prec", 10+i), tup("head", 20+i)
+		register(tr, pre)
+		register(tr, out)
+		tr.Precond(s, 1, pre, 11)
+		tr.Output(s, out, 12)
+	}
+	tr.StageDone(s, 1)
+	got := rows(t, store)
+	if len(got) != 6 {
+		t.Fatalf("ruleExec rows = %d, want 6 (2 per output)", len(got))
+	}
+	// Each output must pair with its own precondition.
+	for i := uint64(0); i < 3; i++ {
+		found := false
+		for _, r := range got {
+			if !r.Field(6).AsBool() && r.Field(2).AsID() == 10+i && r.Field(3).AsID() == 20+i {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing precondition link %d -> %d", 10+i, 20+i)
+		}
+	}
+}
+
+// TestPrecondFlushRule: §2.1.1 — observing a precondition in the middle
+// of the strand flushes recorded fields to its right.
+func TestPrecondFlushRule(t *testing.T) {
+	tr, store, s := fixture(t, 2, DefaultConfig())
+	ev := tup("event", 1)
+	register(tr, ev)
+	tr.Input(s, ev, 10)
+	p1a, p2a := tup("p1", 11), tup("p2", 12)
+	o1 := tup("head", 13)
+	for _, x := range []tuple.Tuple{p1a, p2a, o1} {
+		register(tr, x)
+	}
+	tr.Precond(s, 1, p1a, 10.1)
+	tr.Precond(s, 2, p2a, 10.2)
+	tr.Output(s, o1, 10.3)
+	// New stage-1 precondition: the stage-2 field must be flushed, so
+	// an output now yields rows for stage 1 only.
+	p1b, o2 := tup("p1", 14), tup("head", 15)
+	register(tr, p1b)
+	register(tr, o2)
+	tr.Precond(s, 1, p1b, 10.4)
+	tr.Output(s, o2, 10.5)
+	var gotPre []uint64
+	for _, r := range rows(t, store) {
+		if !r.Field(6).AsBool() && r.Field(3).AsID() == 15 {
+			gotPre = append(gotPre, r.Field(2).AsID())
+		}
+	}
+	if len(gotPre) != 1 || gotPre[0] != 14 {
+		t.Errorf("second output preconditions = %v, want [14] (stage 2 flushed)", gotPre)
+	}
+}
+
+// TestPipelinedRecords reproduces Figure 3: a second input enters stage 1
+// while the first input is still producing matches at stage 2. The
+// tracer must keep two records and attribute outputs to the right one.
+func TestPipelinedRecords(t *testing.T) {
+	tr, store, s := fixture(t, 2, DefaultConfig())
+	ev1, ev2 := tup("event", 1), tup("event", 2)
+	p1x, p2x := tup("p1", 11), tup("p2", 12)
+	p1y := tup("p1", 21)
+	o1 := tup("head", 31)
+	for _, x := range []tuple.Tuple{ev1, ev2, p1x, p2x, p1y, o1} {
+		register(tr, x)
+	}
+	// Input 1 flows to stage 2.
+	tr.Input(s, ev1, 1)
+	tr.Precond(s, 1, p1x, 1.1)
+	tr.Precond(s, 2, p2x, 1.2)
+	// Stage 1 completes for input 1 and input 2 enters: record 1 is now
+	// associated with stage 2 only, record 2 with stage 1.
+	tr.StageDone(s, 1)
+	tr.Input(s, ev2, 2)
+	tr.Precond(s, 1, p1y, 2.1)
+	// Input 1's remaining stage-2 match produces an output; it must be
+	// attributed to record 1 (input ev1), not record 2.
+	tr.Output(s, o1, 2.2)
+	var eventIn uint64
+	for _, r := range rows(t, store) {
+		if r.Field(6).AsBool() && r.Field(3).AsID() == 31 {
+			eventIn = r.Field(2).AsID()
+		}
+	}
+	if eventIn != 1 {
+		t.Errorf("output attributed to input %d, want 1 (pipelined record)", eventIn)
+	}
+}
+
+// TestRecordCap: the fixed number of execution records (a §3.4 resource
+// bound) recycles the oldest record instead of growing.
+func TestRecordCap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RecordsPerStrand = 2
+	tr, store, s := fixture(t, 1, cfg)
+	for i := uint64(0); i < 10; i++ {
+		ev := tup("event", 100+i)
+		register(tr, ev)
+		tr.Input(s, ev, float64(i))
+	}
+	// Only bookkeeping structures are bounded; no rows were produced.
+	if got := len(tr.records[s]); got != 2 {
+		t.Errorf("records = %d, want cap 2", got)
+	}
+	if store.Get(RuleExecTable).Count() != 0 {
+		t.Error("no outputs -> no ruleExec rows (only successful executions are stored)")
+	}
+}
+
+// TestRefCountingFlushesTupleTable: when the last ruleExec row naming a
+// tuple dies, its tupleTable entry and memoized content disappear.
+func TestRefCountingFlushesTupleTable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RuleExecTTL = 5
+	tr, store, s := fixture(t, 0, cfg)
+	ev, out := tup("event", 1), tup("head", 2)
+	register(tr, ev)
+	tr.Input(s, ev, 10)
+	register(tr, out)
+	tr.Output(s, out, 10.5)
+	if store.Get(TupleTable).Count() != 2 || tr.MemoSize() != 2 {
+		t.Fatalf("tupleTable=%d memo=%d, want 2/2",
+			store.Get(TupleTable).Count(), tr.MemoSize())
+	}
+	// Expire the ruleExec row: references drop to zero.
+	store.Get(RuleExecTable).Expire(20)
+	if store.Get(TupleTable).Count() != 0 || tr.MemoSize() != 0 {
+		t.Errorf("tupleTable=%d memo=%d after expiry, want 0/0",
+			store.Get(TupleTable).Count(), tr.MemoSize())
+	}
+	if _, ok := tr.Content(1); ok {
+		t.Error("content must be released with the last reference")
+	}
+}
+
+// TestSharedReferenceSurvives: a tuple referenced by two ruleExec rows
+// survives the death of one.
+func TestSharedReferenceSurvives(t *testing.T) {
+	tr, store, s := fixture(t, 0, DefaultConfig())
+	ev := tup("event", 1)
+	register(tr, ev)
+	tr.Input(s, ev, 10)
+	out1, out2 := tup("head", 2), tup("head", 3)
+	register(tr, out1)
+	register(tr, out2)
+	tr.Output(s, out1, 10.1)
+	tr.Output(s, out2, 10.2)
+	// Delete one row: the shared event tuple must remain memoized.
+	pattern := tuple.New(RuleExecTable, tuple.Nil, tuple.Nil, tuple.Nil,
+		tuple.ID(2), tuple.Nil, tuple.Nil, tuple.Nil)
+	if removed := store.Get(RuleExecTable).Delete(pattern, 100); len(removed) != 1 {
+		t.Fatalf("removed %d rows", len(removed))
+	}
+	if _, ok := tr.Content(1); !ok {
+		t.Error("shared tuple released too early")
+	}
+	if _, ok := tr.Content(2); ok {
+		t.Error("out1 must be released")
+	}
+}
+
+// TestTaskDoneDropsUnreferenced: provenance for tuples never referenced
+// by a ruleExec row is discarded at task end.
+func TestTaskDoneDropsUnreferenced(t *testing.T) {
+	tr, _, _ := fixture(t, 0, DefaultConfig())
+	register(tr, tup("noise", 42))
+	tr.TaskDone()
+	if len(tr.pending) != 0 {
+		t.Error("pending provenance not cleared")
+	}
+	if tr.MemoSize() != 0 {
+		t.Error("unreferenced tuple must not be memoized")
+	}
+}
+
+// TestUnregisteredReferenceSynthesizesProvenance: tracing enabled
+// mid-flight still produces consistent tupleTable rows.
+func TestUnregisteredReferenceSynthesizesProvenance(t *testing.T) {
+	tr, store, s := fixture(t, 0, DefaultConfig())
+	tr.Input(s, tup("event", 7), 1)
+	tr.Output(s, tup("head", 8), 1.1)
+	tt := store.Get(TupleTable)
+	if tt.Count() != 2 {
+		t.Fatalf("tupleTable rows = %d", tt.Count())
+	}
+	tt.Scan(100, func(tp tuple.Tuple) {
+		if tp.Field(2).AsStr() != "n1" {
+			t.Errorf("synthesized provenance src = %v", tp)
+		}
+	})
+}
+
+// TestTapEdgeCases: taps with no owning record or invalid stages are
+// ignored rather than corrupting state.
+func TestTapEdgeCases(t *testing.T) {
+	tr, store, s := fixture(t, 2, DefaultConfig())
+	// Output with no active record: dropped.
+	tr.Output(s, tup("head", 9), 1)
+	if store.Get(RuleExecTable).Count() != 0 {
+		t.Error("orphan output must not produce rows")
+	}
+	// Precondition before any input: dropped.
+	tr.Precond(s, 1, tup("p", 1), 1)
+	// Out-of-range stages are ignored.
+	ev := tup("event", 2)
+	register(tr, ev)
+	tr.Input(s, ev, 1)
+	tr.Precond(s, 0, tup("p", 3), 1)
+	tr.Precond(s, 99, tup("p", 4), 1)
+	tr.StageDone(s, 99)
+	out := tup("head", 5)
+	register(tr, out)
+	tr.Output(s, out, 2)
+	// Only the event edge exists (no valid preconditions recorded).
+	if got := store.Get(RuleExecTable).Count(); got != 1 {
+		t.Errorf("rows = %d, want 1", got)
+	}
+}
+
+// TestLogEvent: the §2.1 system-event buffer records arrivals and table
+// changes, skips the log tables themselves, and is bounded.
+func TestLogEvent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TupleLogMax = 3
+	tr, store, _ := fixture(t, 0, cfg)
+	tr.LogEvent("arrive", "lookup", 1, 1)
+	tr.LogEvent("insert", "succ", 2, 1.1)
+	tr.LogEvent("delete", "succ", 2, 1.2)
+	tr.LogEvent("insert", RuleExecTable, 3, 1.3) // must be skipped
+	tr.LogEvent("insert", TupleLogTable, 4, 1.4) // must be skipped
+	tl := store.Get(TupleLogTable)
+	if tl.Count() != 3 {
+		t.Fatalf("tupleLog rows = %d, want 3", tl.Count())
+	}
+	// Bound: a fourth event evicts the oldest.
+	tr.LogEvent("arrive", "lookup", 5, 2)
+	if tl.Count() != 3 {
+		t.Errorf("tupleLog exceeded its bound: %d", tl.Count())
+	}
+	// Disabled logging is a no-op.
+	cfg2 := DefaultConfig()
+	cfg2.TupleLogMax = 0
+	tr2, store2, _ := fixture(t, 0, cfg2)
+	tr2.LogEvent("arrive", "lookup", 1, 1)
+	if store2.Get(TupleLogTable) != nil {
+		t.Error("disabled tupleLog must not exist")
+	}
+}

@@ -1,0 +1,156 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The wire format used by the network postamble/preamble:
+//
+//	tuple  := nameLen(uvarint) name fieldCount(uvarint) value*
+//	value  := kind(byte) payload
+//	payload:
+//	  int    varint
+//	  id     8 bytes little-endian
+//	  float  8 bytes little-endian (IEEE-754 bits)
+//	  str    len(uvarint) bytes
+//	  bool   1 byte
+//	  list   count(uvarint) value*
+//	  nil    (empty)
+//
+// The codec is self-describing and versionless; it exists so that the
+// simulated network can bill realistic byte counts and so that the real
+// UDP transport in cmd/p2node interoperates between processes.
+
+// Marshal appends the wire encoding of t to dst and returns the result.
+// Tuple IDs are not marshaled: they are node-local (the receiving node
+// assigns its own ID, recording the source node and source ID in
+// tupleTable; that pair travels in the message envelope, not here).
+func Marshal(dst []byte, t Tuple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(t.Name)))
+	dst = append(dst, t.Name...)
+	dst = binary.AppendUvarint(dst, uint64(len(t.Fields)))
+	for _, f := range t.Fields {
+		dst = appendValue(dst, f)
+	}
+	return dst
+}
+
+func appendValue(dst []byte, v Value) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindNil:
+	case KindInt:
+		dst = binary.AppendVarint(dst, int64(v.num))
+	case KindID:
+		dst = binary.LittleEndian.AppendUint64(dst, v.num)
+	case KindFloat:
+		dst = binary.LittleEndian.AppendUint64(dst, v.num)
+	case KindStr:
+		dst = binary.AppendUvarint(dst, uint64(len(v.str)))
+		dst = append(dst, v.str...)
+	case KindBool:
+		b := byte(0)
+		if v.num != 0 {
+			b = 1
+		}
+		dst = append(dst, b)
+	case KindList:
+		dst = binary.AppendUvarint(dst, uint64(len(v.list)))
+		for _, e := range v.list {
+			dst = appendValue(dst, e)
+		}
+	}
+	return dst
+}
+
+// Unmarshal decodes one tuple from b, returning the tuple and the number
+// of bytes consumed.
+func Unmarshal(b []byte) (Tuple, int, error) {
+	pos := 0
+	nameLen, n := binary.Uvarint(b[pos:])
+	if n <= 0 || nameLen > uint64(len(b)) || pos+n+int(nameLen) > len(b) {
+		return Tuple{}, 0, fmt.Errorf("tuple: short buffer decoding name")
+	}
+	pos += n
+	name := string(b[pos : pos+int(nameLen)])
+	pos += int(nameLen)
+	count, n := binary.Uvarint(b[pos:])
+	if n <= 0 {
+		return Tuple{}, 0, fmt.Errorf("tuple: short buffer decoding arity")
+	}
+	if count > uint64(len(b)) {
+		return Tuple{}, 0, fmt.Errorf("tuple: implausible arity %d", count)
+	}
+	pos += n
+	fields := make([]Value, 0, count)
+	for i := uint64(0); i < count; i++ {
+		v, n, err := decodeValue(b[pos:])
+		if err != nil {
+			return Tuple{}, 0, fmt.Errorf("tuple: field %d: %w", i, err)
+		}
+		pos += n
+		fields = append(fields, v)
+	}
+	return Tuple{Name: name, Fields: fields}, pos, nil
+}
+
+func decodeValue(b []byte) (Value, int, error) {
+	if len(b) == 0 {
+		return Nil, 0, fmt.Errorf("short buffer decoding kind")
+	}
+	kind := Kind(b[0])
+	pos := 1
+	switch kind {
+	case KindNil:
+		return Nil, pos, nil
+	case KindInt:
+		v, n := binary.Varint(b[pos:])
+		if n <= 0 {
+			return Nil, 0, fmt.Errorf("short buffer decoding int")
+		}
+		return Int(v), pos + n, nil
+	case KindID, KindFloat:
+		if len(b) < pos+8 {
+			return Nil, 0, fmt.Errorf("short buffer decoding %s", kind)
+		}
+		u := binary.LittleEndian.Uint64(b[pos:])
+		if kind == KindID {
+			return ID(u), pos + 8, nil
+		}
+		return Float(math.Float64frombits(u)), pos + 8, nil
+	case KindStr:
+		l, n := binary.Uvarint(b[pos:])
+		if n <= 0 || l > uint64(len(b)) || pos+n+int(l) > len(b) {
+			return Nil, 0, fmt.Errorf("short buffer decoding str")
+		}
+		pos += n
+		return Str(string(b[pos : pos+int(l)])), pos + int(l), nil
+	case KindBool:
+		if len(b) < pos+1 {
+			return Nil, 0, fmt.Errorf("short buffer decoding bool")
+		}
+		return Bool(b[pos] != 0), pos + 1, nil
+	case KindList:
+		count, n := binary.Uvarint(b[pos:])
+		if n <= 0 {
+			return Nil, 0, fmt.Errorf("short buffer decoding list")
+		}
+		if count > uint64(len(b)) {
+			return Nil, 0, fmt.Errorf("implausible list length %d", count)
+		}
+		pos += n
+		elems := make([]Value, 0, count)
+		for i := uint64(0); i < count; i++ {
+			e, n, err := decodeValue(b[pos:])
+			if err != nil {
+				return Nil, 0, err
+			}
+			pos += n
+			elems = append(elems, e)
+		}
+		return List(elems...), pos, nil
+	}
+	return Nil, 0, fmt.Errorf("unknown value kind %d", kind)
+}

@@ -1,0 +1,60 @@
+package tuple
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal: arbitrary bytes never panic, and whatever decodes
+// re-encodes to something that decodes to an equal tuple.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Marshal(nil, New("pred", Str("n1"), ID(10), Str("n2"))))
+	f.Add(Marshal(nil, New("mix", Str("loc"), Int(-5), Float(2.75), Bool(true),
+		Nil, List(Int(1), List(Str("nested"))))))
+	f.Add([]byte{0x01, 0x78, 0x01, 0x63})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tp, n, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		re := Marshal(nil, tp)
+		tp2, n2, err := Unmarshal(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		// Byte-level canonical equality (Value.Equal would reject NaN
+		// floats, which legitimately round-trip).
+		if n2 != len(re) || !bytes.Equal(re, Marshal(nil, tp2)) {
+			t.Fatalf("re-encode mismatch: %v vs %v", tp, tp2)
+		}
+	})
+}
+
+// FuzzValueCodec: every decodable value round-trips byte-identically
+// after one re-encode (canonical form).
+func FuzzValueCodec(f *testing.F) {
+	for _, v := range []Value{Int(-1), ID(42), Float(3.5), Str("x"), Bool(true),
+		List(Int(1), Str("a"))} {
+		f.Add(Marshal(nil, New("t", v)))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tp, _, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		a := Marshal(nil, tp)
+		tp2, _, err := Unmarshal(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := Marshal(nil, tp2)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("non-canonical encoding: %x vs %x", a, b)
+		}
+	})
+}
