@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test cover bench fuzz examples tidy
+.PHONY: build test check cover bench bench-smoke fuzz examples tidy
 
 build:
 	go build ./...
@@ -9,6 +9,13 @@ build:
 test:
 	go test ./...
 
+# Full gate: build + vet + tests with the race detector (the parallel
+# simnet driver is exercised under -race by its determinism tests).
+check:
+	go build ./...
+	go vet ./...
+	go test -race ./...
+
 cover:
 	go test -cover ./internal/...
 
@@ -16,6 +23,11 @@ cover:
 # seeds per point, like the paper).
 bench:
 	go test -timeout 0 -bench=. -benchmem ./...
+
+# One Figure 6 point under both simnet drivers: prints wall-clock
+# speedup and cross-checks that results are bit-identical.
+bench-smoke:
+	go run ./cmd/p2bench -exp smoke
 
 fuzz:
 	go test -run '^$$' -fuzz FuzzUnmarshal -fuzztime 30s ./internal/tuple/

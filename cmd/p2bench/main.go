@@ -10,22 +10,32 @@
 //	p2bench -exp fig5           # piggybacked rules
 //	p2bench -exp fig6           # proactive consistency probes
 //	p2bench -exp fig7           # consistent snapshots
+//	p2bench -exp smoke          # one fig6 point in both drivers + speedup
+//
+// -parallel runs every ring on simnet's conservative parallel driver
+// (same virtual-time results, different wall clock); -workers bounds its
+// worker pool (0 = GOMAXPROCS).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 
 	"p2go/internal/bench"
 )
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment: logging, fig4, fig5, fig6, fig7, all")
-		seed = flag.Int64("seed", 42, "random seed")
+		exp      = flag.String("exp", "all", "experiment: logging, fig4, fig5, fig6, fig7, smoke, all")
+		seed     = flag.Int64("seed", 42, "random seed")
+		parallel = flag.Bool("parallel", false, "run rings on the conservative parallel simnet driver")
+		workers  = flag.Int("workers", 0, "parallel worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	bench.Parallel = *parallel
+	bench.Workers = *workers
 
 	counts := []int{0, 50, 100, 150, 200, 250}
 	run := func(name string) {
@@ -69,6 +79,21 @@ func main() {
 			}
 			fmt.Print(bench.FormatTable(
 				"Figure 7: consistent snapshots at increasing rates (1/s)", s))
+		case "smoke":
+			res, err := bench.SpeedupSmoke(*seed, *workers)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Smoke: Figure 6 point (consistency probes at 1/4 Hz), sequential vs parallel driver")
+			fmt.Printf("  sequential: wall=%8.2fs  %v\n", res.SeqWall.Seconds(), res.Seq)
+			fmt.Printf("  parallel  : wall=%8.2fs  %v\n", res.ParWall.Seconds(), res.Par)
+			fmt.Printf("  speedup: %.2fx on %d CPU(s); results identical: %v\n",
+				res.Speedup(), runtime.NumCPU(), res.Match)
+			fmt.Printf("  windows: %d, mean runnable hosts/window: %.1f (available concurrency)\n",
+				res.Stats.Windows, res.Occupancy())
+			if !res.Match {
+				log.Fatal("determinism contract violated: drivers disagree")
+			}
 		case "ablation":
 			idx, scan, err := bench.AblationIndexedJoins(*seed)
 			if err != nil {

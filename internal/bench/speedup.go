@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"time"
+
+	"p2go/internal/chord"
+	"p2go/internal/monitor"
+	"p2go/internal/simnet"
+)
+
+// SpeedupResult reports one workload point run under both simnet
+// drivers: wall-clock durations, the measured samples, whether the two
+// samples agree (the determinism contract exercised on the real
+// benchmark path, not just in tests), and the parallel driver's window
+// statistics.
+type SpeedupResult struct {
+	SeqWall, ParWall time.Duration
+	Seq, Par         Sample
+	Match            bool
+	Stats            simnet.ParStats
+}
+
+// Occupancy is the mean number of hosts runnable per window — the
+// concurrency the worker pool can exploit on a multi-core machine.
+func (r SpeedupResult) Occupancy() float64 {
+	if r.Stats.Windows == 0 {
+		return 0
+	}
+	return float64(r.Stats.HostWindows) / float64(r.Stats.Windows)
+}
+
+// Speedup is ParWall's improvement factor (>1 means parallel is faster).
+func (r SpeedupResult) Speedup() float64 {
+	if r.ParWall <= 0 {
+		return 0
+	}
+	return float64(r.SeqWall) / float64(r.ParWall)
+}
+
+// SpeedupSmoke runs one Figure 6 point — the proactive consistency
+// detector at 1/4 Hz on the 21-node ring — once per driver and compares
+// wall clock and results. workers = 0 means GOMAXPROCS.
+func SpeedupSmoke(seed int64, workers int) (SpeedupResult, error) {
+	var res SpeedupResult
+	run := func(parallel bool) (Sample, time.Duration, error) {
+		start := time.Now()
+		r, err := chord.NewRing(chord.RingConfig{
+			N: Nodes, Seed: seed, Parallel: parallel, Workers: workers,
+		})
+		if err != nil {
+			return Sample{}, 0, err
+		}
+		r.Run(ConvergeTime)
+		if err := r.Node(Measured).InstallProgram(monitor.ConsistencyProgram(4)); err != nil {
+			return Sample{}, 0, err
+		}
+		s := measure(r, "1/4", 0.25)
+		if parallel {
+			res.Stats = r.Net.ParStats()
+		}
+		return s, time.Since(start), nil
+	}
+	var err error
+	if res.Seq, res.SeqWall, err = run(false); err != nil {
+		return res, err
+	}
+	if res.Par, res.ParWall, err = run(true); err != nil {
+		return res, err
+	}
+	res.Match = res.Seq == res.Par
+	return res, nil
+}

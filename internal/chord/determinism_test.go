@@ -1,0 +1,76 @@
+package chord
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"p2go/internal/tuple"
+)
+
+// ringFingerprint captures everything the determinism contract covers:
+// each node's metrics counters, the full contents (including node-local
+// tuple IDs) of every table on every node, the network-wide totals, and
+// the drop count.
+func ringFingerprint(r *Ring) string {
+	var b strings.Builder
+	now := r.Sim.Now()
+	for _, a := range r.Addrs {
+		n := r.Node(a)
+		fmt.Fprintf(&b, "%s metrics=%+v\n", a, n.Metrics())
+		st := n.Store()
+		names := st.Names()
+		sort.Strings(names)
+		for _, name := range names {
+			var rows []string
+			st.Get(name).Scan(now, func(t tuple.Tuple) {
+				rows = append(rows, fmt.Sprintf("%v#%d", t, t.ID))
+			})
+			sort.Strings(rows)
+			fmt.Fprintf(&b, "%s/%s(%d): %s\n", a, name, len(rows), strings.Join(rows, " "))
+		}
+	}
+	fmt.Fprintf(&b, "total=%+v dropped=%d watched=%d errors=%d now=%v\n",
+		r.Net.TotalMetrics(), r.Net.Dropped(), len(r.Watched), len(r.Errors), now)
+	return b.String()
+}
+
+// TestParallelDeterminism21 is the PR's correctness spine: the paper's
+// 21-node Chord convergence workload (the TestConvergence21 scenario,
+// plus message loss to exercise the per-link RNG streams) must produce
+// bit-identical metrics, drop counts, and final table contents on every
+// node under the sequential and the parallel driver.
+func TestParallelDeterminism21(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two 21-node 300s rings")
+	}
+	build := func(parallel bool) string {
+		r, err := NewRing(RingConfig{
+			N: 21, Seed: 42, LossProb: 0.02,
+			Parallel: parallel, Workers: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Run(300)
+		if parallel {
+			// The parallel driver must also leave the ring converged.
+			if bad := r.CheckRing(r.Addrs); len(bad) > 0 {
+				t.Errorf("parallel ring not converged after 300s: %v", bad)
+			}
+		}
+		return ringFingerprint(r)
+	}
+	seq := build(false)
+	par := build(true)
+	if seq != par {
+		i := 0
+		for i < len(seq) && i < len(par) && seq[i] == par[i] {
+			i++
+		}
+		lo := max(0, i-200)
+		t.Fatalf("sequential and parallel runs diverged at byte %d:\n...seq: %q\n...par: %q",
+			i, seq[lo:min(len(seq), i+200)], par[lo:min(len(par), i+200)])
+	}
+}

@@ -100,7 +100,10 @@ type queued struct {
 }
 
 // Node is one P2 node. Not safe for concurrent use: the driver serializes
-// Handle* calls.
+// Handle* calls on each node. Distinct nodes share no mutable state (each
+// owns its store, RNG, tracer, counters, and scratch buffers; Send and
+// the On* callbacks are the only ways out), so a parallel driver may run
+// different nodes on different goroutines concurrently.
 type Node struct {
 	cfg   Config
 	store *table.Store
@@ -118,6 +121,7 @@ type Node struct {
 	labelCounter int
 	micro        float64 // cost accumulated within the current task
 	queue        []queued
+	scratch      []byte // reusable marshal buffer for the send postamble
 
 	ruleTable  *table.Table
 	tableTable *table.Table
@@ -522,9 +526,16 @@ func (n *Node) EmitHead(s *dataflow.Strand, t tuple.Tuple, isDelete bool) {
 		n.queue = append(n.queue, queued{t: t, src: n.cfg.Addr, srcID: id})
 		return
 	}
-	// Network postamble: marshal and send.
+	// Network postamble: marshal into the node's scratch buffer (sized
+	// from the exact encoded size, so it never grows mid-append after
+	// warmup), then hand the envelope its own exact-size copy — the
+	// transport holds Raw beyond this task, so it cannot alias scratch.
 	n.bill(dataflow.CostMarshal)
-	raw := tuple.Marshal(nil, t)
+	if sz := tuple.EncodedSize(t); cap(n.scratch) < sz {
+		n.scratch = make([]byte, 0, sz)
+	}
+	n.scratch = tuple.Marshal(n.scratch[:0], t)
+	raw := append(make([]byte, 0, len(n.scratch)), n.scratch...)
 	n.met.MsgsSent++
 	n.met.BytesSent += int64(len(raw))
 	if n.cfg.Send == nil {

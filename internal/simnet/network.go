@@ -1,7 +1,9 @@
 package simnet
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sort"
 
@@ -11,23 +13,46 @@ import (
 	"p2go/internal/tuple"
 )
 
+// Mode selects the execution driver for Network.Run.
+type Mode int
+
+const (
+	// Sequential executes every event on the calling goroutine in
+	// global virtual-time order (the classic discrete-event loop).
+	Sequential Mode = iota
+	// Parallel executes independent hosts concurrently inside
+	// conservative lookahead windows (see parallel.go). Virtual-time
+	// behavior is identical to Sequential: same per-node metrics,
+	// traces, drop counts, and final table contents for the same seed.
+	Parallel
+)
+
 // Config configures a simulated network.
 type Config struct {
 	// Seed drives every random choice (delays, loss, node RNGs), making
 	// runs reproducible.
 	Seed int64
 	// MinDelay and MaxDelay bound the uniformly sampled one-way message
-	// latency in seconds. Defaults: 5-25 ms.
+	// latency in seconds. Defaults: 5-25 ms. MinDelay also serves as
+	// the conservative lookahead of the Parallel driver: no message
+	// sent inside a window of that length can also arrive in it.
 	MinDelay, MaxDelay float64
 	// LossProb drops each message independently with this probability.
 	LossProb float64
 	// SweepInterval is how often each node expires soft state; default
 	// 1 s of virtual time.
 	SweepInterval float64
+	// Mode selects the execution driver (default Sequential).
+	Mode Mode
+	// Workers bounds the Parallel driver's worker pool; 0 means
+	// GOMAXPROCS. Ignored in Sequential mode.
+	Workers int
 	// Tracing, when non-nil, enables execution logging on every node.
 	Tracing *trace.Config
 	// OnWatch and OnRuleError hook watched tuples and rule errors; the
-	// node address is prepended.
+	// node address is prepended. In Parallel mode they are buffered
+	// during a window and replayed in virtual-time order at the window
+	// barrier, so implementations need not be goroutine-safe.
 	OnWatch     func(now float64, node string, t tuple.Tuple)
 	OnRuleError func(now float64, node string, ruleID string, err error)
 }
@@ -42,66 +67,151 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// link is the sender-owned state of one directed link: its private
+// delay/loss RNG stream and the FIFO high-water mark. Only the source
+// host's execution touches it, so links never need locking.
+type link struct {
+	rng         *rand.Rand
+	lastArrival float64
+}
+
 type host struct {
+	idx       int32 // position in Network.byIdx; tags this host's events
 	node      *engine.Node
 	addr      string
 	queue     []func() float64
+	qhead     int // ring head: queue[:qhead] is consumed (and nil'd)
 	busyUntil float64
 	kickAt    float64 // time of the scheduled kick; <0 when none
 	down      bool
+	// now is the virtual time of the task currently (or most recently)
+	// executing on this host; the node's clock reads it so that worker
+	// goroutines never consult the global clock mid-window.
+	now float64
+	// rng staggers this host's periodic triggers. Deriving it from the
+	// host address (not a shared stream) keeps draws independent of the
+	// order hosts execute in.
+	rng *rand.Rand
+	// links holds outgoing per-destination link state.
+	links map[string]*link
+	// dropped counts messages this host's execution observed as lost
+	// (send-side sampling/partition/dead-destination drops, plus
+	// arrival-time drops at a down receiver).
+	dropped int64
+	// exec is this host's window context while a parallel window is
+	// running, else nil (see parallel.go).
+	exec *hostExec
 }
 
 // Network connects engine nodes over the simulator.
 type Network struct {
 	sim   *Sim
 	cfg   Config
-	rng   *rand.Rand
+	rng   *rand.Rand // setup-time stream (node seeds); driver context only
 	hosts map[string]*host
-	// lastArrival enforces per-link FIFO delivery.
-	lastArrival map[[2]string]float64
+	byIdx []*host
 	// blocked holds severed directed links (partition injection).
 	blocked map[[2]string]bool
-	// Dropped counts messages lost to sampling, partitions, or dead
-	// nodes.
-	Dropped int64
+
+	// Parallel-driver scratch state (coordinator-only, never touched by
+	// workers): recycled window contexts and merge buffers, plus run
+	// statistics. See parallel.go.
+	execPool  []*hostExec
+	activeBuf []*host
+	defsBuf   []deferredEvent
+	recsBuf   []callbackRec
+	parStats  ParStats
 }
 
 // NewNetwork creates an empty network on sim.
 func NewNetwork(sim *Sim, cfg Config) *Network {
 	cfg = cfg.withDefaults()
 	return &Network{
-		sim:         sim,
-		cfg:         cfg,
-		rng:         rand.New(rand.NewSource(cfg.Seed)),
-		hosts:       make(map[string]*host),
-		lastArrival: make(map[[2]string]float64),
-		blocked:     make(map[[2]string]bool),
+		sim:     sim,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		hosts:   make(map[string]*host),
+		blocked: make(map[[2]string]bool),
 	}
 }
 
 // Sim returns the underlying scheduler.
 func (n *Network) Sim() *Sim { return n.sim }
 
+// subSeed derives an independent RNG seed from the network seed and a
+// textual key (host address, link endpoints). Derivation by key rather
+// than by draw order makes every stream independent of the order hosts
+// and links come into existence or execute.
+func subSeed(seed int64, parts ...string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(seed))
+	h.Write(b[:])
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	return int64(h.Sum64())
+}
+
+// schedule plans fn at absolute virtual time t on target's timeline.
+// issuer is the host whose execution requested it (nil from driver
+// context); inside a parallel window the request is buffered on the
+// issuing worker and merged deterministically at the window barrier.
+func (n *Network) schedule(issuer, target *host, t float64, fn func()) {
+	if issuer != nil && issuer.exec != nil {
+		issuer.exec.schedule(target, t, fn)
+		return
+	}
+	n.sim.at(t, target.idx, fn)
+}
+
+// hostClock is the node-facing clock: the time of the host's current
+// task when one is running ahead of the global clock (as workers do
+// mid-window), else the global clock (driver context).
+func (n *Network) hostClock(h *host) float64 {
+	if h.now > n.sim.now {
+		return h.now
+	}
+	return n.sim.now
+}
+
 // AddNode creates and wires a node. Programs are installed by the caller.
 func (n *Network) AddNode(addr string) (*engine.Node, error) {
 	if _, ok := n.hosts[addr]; ok {
 		return nil, fmt.Errorf("simnet: node %s already exists", addr)
 	}
-	h := &host{addr: addr, kickAt: -1}
+	h := &host{
+		idx:    int32(len(n.byIdx)),
+		addr:   addr,
+		kickAt: -1,
+		rng:    rand.New(rand.NewSource(subSeed(n.cfg.Seed, "host", addr))),
+		links:  make(map[string]*link),
+	}
 	cfg := engine.Config{
 		Addr:  addr,
 		Seed:  n.rng.Int63(),
-		Clock: n.sim.Now,
+		Clock: func() float64 { return n.hostClock(h) },
 		Send: func(dst string, env engine.Envelope, at float64) {
-			n.deliver(addr, dst, env, at)
+			n.deliver(h, dst, env, at)
 		},
 		OnNewPeriodic: func(p *engine.Periodic) { n.schedulePeriodic(h, p) },
 	}
 	if n.cfg.OnWatch != nil {
-		cfg.OnWatch = func(now float64, t tuple.Tuple) { n.cfg.OnWatch(now, addr, t) }
+		cfg.OnWatch = func(now float64, t tuple.Tuple) {
+			if ex := h.exec; ex != nil {
+				ex.watches = append(ex.watches, watchRec{at: now, t: t})
+				return
+			}
+			n.cfg.OnWatch(now, addr, t)
+		}
 	}
 	if n.cfg.OnRuleError != nil {
 		cfg.OnRuleError = func(now float64, ruleID string, err error) {
+			if ex := h.exec; ex != nil {
+				ex.errors = append(ex.errors, errRec{at: now, ruleID: ruleID, err: err})
+				return
+			}
 			n.cfg.OnRuleError(now, addr, ruleID, err)
 		}
 	}
@@ -112,15 +222,18 @@ func (n *Network) AddNode(addr string) (*engine.Node, error) {
 		}
 	}
 	n.hosts[addr] = h
+	n.byIdx = append(n.byIdx, h)
 	// Periodic soft-state sweeps.
-	var sweep func()
-	sweep = func() {
+	var sweep func(at float64)
+	sweep = func(at float64) {
 		if !h.down {
-			n.enqueue(h, h.node.Sweep)
+			n.enqueue(h, h.node.Sweep, at)
 		}
-		n.sim.After(n.cfg.SweepInterval, sweep)
+		next := at + n.cfg.SweepInterval
+		n.schedule(h, h, next, func() { sweep(next) })
 	}
-	n.sim.After(n.cfg.SweepInterval, sweep)
+	first := n.sim.Now() + n.cfg.SweepInterval
+	n.schedule(nil, h, first, func() { sweep(first) })
 	return h.node, nil
 }
 
@@ -142,86 +255,133 @@ func (n *Network) Addrs() []string {
 	return out
 }
 
-// deliver routes one message; called from inside node task execution.
-func (n *Network) deliver(src, dst string, env engine.Envelope, at float64) {
+// Dropped reports messages lost to sampling, partitions, or dead nodes,
+// summed over the per-host counters (each host owns its counter so
+// parallel workers never contend on it).
+func (n *Network) Dropped() int64 {
+	var total int64
+	for _, h := range n.byIdx {
+		total += h.dropped
+	}
+	return total
+}
+
+// outLink returns (creating on first use) src's link state toward dst.
+func (n *Network) outLink(src *host, dst string) *link {
+	lk := src.links[dst]
+	if lk == nil {
+		lk = &link{rng: rand.New(rand.NewSource(subSeed(n.cfg.Seed, "link", src.addr, dst)))}
+		src.links[dst] = lk
+	}
+	return lk
+}
+
+// deliver routes one message; called from inside src's task execution.
+func (n *Network) deliver(src *host, dst string, env engine.Envelope, at float64) {
 	h, ok := n.hosts[dst]
-	if !ok || h.down || n.blocked[[2]string{src, dst}] {
-		n.Dropped++
+	if !ok || h.down || n.blocked[[2]string{src.addr, dst}] {
+		src.dropped++
 		return
 	}
-	if n.cfg.LossProb > 0 && n.rng.Float64() < n.cfg.LossProb {
-		n.Dropped++
+	lk := n.outLink(src, dst)
+	if n.cfg.LossProb > 0 && lk.rng.Float64() < n.cfg.LossProb {
+		src.dropped++
 		return
 	}
-	delay := n.cfg.MinDelay + n.rng.Float64()*(n.cfg.MaxDelay-n.cfg.MinDelay)
+	delay := n.cfg.MinDelay + lk.rng.Float64()*(n.cfg.MaxDelay-n.cfg.MinDelay)
 	arrival := at + delay
-	link := [2]string{src, dst}
-	if last := n.lastArrival[link]; arrival <= last {
-		arrival = last + 1e-9 // FIFO per link
+	if arrival <= lk.lastArrival {
+		arrival = lk.lastArrival + 1e-9 // FIFO per link
 	}
-	n.lastArrival[link] = arrival
-	n.sim.At(arrival, func() {
+	lk.lastArrival = arrival
+	n.schedule(src, h, arrival, func() {
 		if h.down {
-			n.Dropped++
+			h.dropped++
 			return
 		}
-		n.enqueue(h, func() float64 { return h.node.HandleMessage(env) })
+		n.enqueue(h, func() float64 { return h.node.HandleMessage(env) }, arrival)
 	})
 }
 
 // enqueue adds a CPU task to the host's run queue and kicks the server.
-func (n *Network) enqueue(h *host, task func() float64) {
+// now is the virtual time of the stimulus (the executing event's time).
+func (n *Network) enqueue(h *host, task func() float64, now float64) {
 	h.queue = append(h.queue, task)
-	n.kick(h)
+	n.kick(h, now)
+}
+
+// takeTask pops the queue head. Consumed slots are nil'd and reclaimed
+// (head index plus compaction) rather than re-sliced away — a plain
+// h.queue = h.queue[1:] would pin every processed task closure in the
+// backing array for the host's lifetime.
+func (h *host) takeTask() func() float64 {
+	task := h.queue[h.qhead]
+	h.queue[h.qhead] = nil
+	h.qhead++
+	if h.qhead == len(h.queue) {
+		h.queue = h.queue[:0]
+		h.qhead = 0
+	} else if h.qhead >= 64 && h.qhead*2 >= len(h.queue) {
+		m := copy(h.queue, h.queue[h.qhead:])
+		h.queue = h.queue[:m]
+		h.qhead = 0
+	}
+	return task
+}
+
+func (h *host) clearQueue() {
+	h.queue = nil
+	h.qhead = 0
 }
 
 // kick runs queued tasks if the host CPU is free, else schedules a retry
 // at busyUntil. The node is a single-server queue: task start time is
 // max(now, busyUntil), and each task's simulated cost extends busyUntil.
-func (n *Network) kick(h *host) {
-	now := n.sim.Now()
+func (n *Network) kick(h *host, now float64) {
 	if h.busyUntil > now {
 		if h.kickAt < 0 || h.kickAt > h.busyUntil {
 			h.kickAt = h.busyUntil
-			n.sim.At(h.busyUntil, func() {
+			at := h.busyUntil
+			n.schedule(h, h, at, func() {
 				h.kickAt = -1
-				n.kick(h)
+				n.kick(h, at)
 			})
 		}
 		return
 	}
-	for len(h.queue) > 0 {
+	h.now = now
+	for h.qhead < len(h.queue) {
 		if h.down {
-			h.queue = nil
+			h.clearQueue()
 			return
 		}
-		task := h.queue[0]
-		h.queue = h.queue[1:]
+		task := h.takeTask()
 		cost := task()
-		h.busyUntil = n.sim.Now() + cost
-		if h.busyUntil > n.sim.Now() && len(h.queue) > 0 {
+		h.busyUntil = now + cost
+		if h.busyUntil > now && h.qhead < len(h.queue) {
 			// Still busy: resume when the CPU frees up.
-			n.kick(h)
+			n.kick(h, now)
 			return
 		}
 	}
 }
 
 // schedulePeriodic arms a periodic trigger with a random initial phase
-// (staggering, as independent processes would naturally have).
+// (staggering, as independent processes would naturally have). The phase
+// draw comes from the host's own RNG stream so it does not depend on
+// what other hosts are doing.
 func (n *Network) schedulePeriodic(h *host, p *engine.Periodic) {
-	first := n.sim.Now() + p.Period()*(0.05+0.95*n.rng.Float64())
-	var fire func()
-	at := first
-	fire = func() {
+	first := n.hostClock(h) + p.Period()*(0.05+0.95*h.rng.Float64())
+	var fire func(at float64)
+	fire = func(at float64) {
 		if h.down || p.Done() {
 			return
 		}
-		n.enqueue(h, func() float64 { return h.node.HandleTimer(p) })
-		at += p.Period()
-		n.sim.At(at, fire)
+		n.enqueue(h, func() float64 { return h.node.HandleTimer(p) }, at)
+		next := at + p.Period()
+		n.schedule(h, h, next, func() { fire(next) })
 	}
-	n.sim.At(at, fire)
+	n.schedule(h, h, first, func() { fire(first) })
 }
 
 // Inject delivers a tuple to a node as a local event at the current time.
@@ -230,7 +390,7 @@ func (n *Network) Inject(addr string, t tuple.Tuple) error {
 	if !ok {
 		return fmt.Errorf("simnet: no node %s", addr)
 	}
-	n.enqueue(h, func() float64 { return h.node.HandleLocal(t) })
+	n.enqueue(h, func() float64 { return h.node.HandleLocal(t) }, n.sim.Now())
 	return nil
 }
 
@@ -240,9 +400,12 @@ func (n *Network) InjectAt(at float64, addr string, t tuple.Tuple) error {
 	if !ok {
 		return fmt.Errorf("simnet: no node %s", addr)
 	}
-	n.sim.At(at, func() {
+	if at < n.sim.Now() {
+		at = n.sim.Now()
+	}
+	n.schedule(nil, h, at, func() {
 		if !h.down {
-			n.enqueue(h, func() float64 { return h.node.HandleLocal(t) })
+			n.enqueue(h, func() float64 { return h.node.HandleLocal(t) }, at)
 		}
 	})
 	return nil
@@ -253,7 +416,7 @@ func (n *Network) InjectAt(at float64, addr string, t tuple.Tuple) error {
 func (n *Network) Crash(addr string) {
 	if h, ok := n.hosts[addr]; ok {
 		h.down = true
-		h.queue = nil
+		h.clearQueue()
 	}
 }
 
@@ -277,16 +440,24 @@ func (n *Network) Heal(a, b string) {
 	delete(n.blocked, [2]string{b, a})
 }
 
-// Run advances the simulation to absolute virtual time t.
-func (n *Network) Run(t float64) { n.sim.Run(t) }
+// Run advances the simulation to absolute virtual time t using the
+// configured driver.
+func (n *Network) Run(t float64) {
+	if n.cfg.Mode == Parallel {
+		n.runParallel(t)
+		return
+	}
+	n.sim.Run(t)
+}
 
 // RunFor advances the simulation by d seconds.
-func (n *Network) RunFor(d float64) { n.sim.Run(n.sim.Now() + d) }
+func (n *Network) RunFor(d float64) { n.Run(n.sim.Now() + d) }
 
-// TotalMetrics sums node counters across the network.
+// TotalMetrics sums node counters across the network in node-creation
+// order (a fixed order keeps the floating-point sum reproducible).
 func (n *Network) TotalMetrics() metrics.Node {
 	var total metrics.Node
-	for _, h := range n.hosts {
+	for _, h := range n.byIdx {
 		m := h.node.Metrics()
 		total.BusySeconds += m.BusySeconds
 		total.MsgsSent += m.MsgsSent

@@ -82,7 +82,7 @@ func TestLossDropsSomeMessages(t *testing.T) {
 	if got == 0 || got == 100 {
 		t.Errorf("delivered %d of 100 at 50%% loss", got)
 	}
-	if net.Dropped == 0 {
+	if net.Dropped() == 0 {
 		t.Error("drops not counted")
 	}
 }

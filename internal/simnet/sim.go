@@ -15,11 +15,15 @@ import (
 	"math"
 )
 
-// event is one scheduled callback.
+// event is one scheduled callback. host attributes the event to the
+// simulated host whose state it touches (an index into Network.byIdx),
+// or -1 for unattributed events; the parallel driver may only run
+// host-attributed events concurrently.
 type event struct {
-	at  float64
-	seq uint64 // tie-break: FIFO among simultaneous events
-	fn  func()
+	at   float64
+	seq  uint64 // tie-break: FIFO among simultaneous events
+	host int32
+	fn   func()
 }
 
 type eventHeap []event
@@ -55,12 +59,15 @@ func NewSim() *Sim { return &Sim{} }
 func (s *Sim) Now() float64 { return s.now }
 
 // At schedules fn at absolute virtual time t (clamped to now).
-func (s *Sim) At(t float64, fn func()) {
+func (s *Sim) At(t float64, fn func()) { s.at(t, -1, fn) }
+
+// at schedules a host-attributed event (host < 0 means unattributed).
+func (s *Sim) at(t float64, host int32, fn func()) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.pq, event{at: t, seq: s.seq, fn: fn})
+	heap.Push(&s.pq, event{at: t, seq: s.seq, host: host, fn: fn})
 }
 
 // After schedules fn d seconds from now.

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // The wire format used by the network postamble/preamble:
@@ -63,6 +64,47 @@ func appendValue(dst []byte, v Value) []byte {
 		}
 	}
 	return dst
+}
+
+// EncodedSize returns the exact number of bytes Marshal will append for
+// t, computed without allocating. Senders use it to size their marshal
+// buffers up front instead of growing them append by append.
+func EncodedSize(t Tuple) int {
+	n := uvarintLen(uint64(len(t.Name))) + len(t.Name) + uvarintLen(uint64(len(t.Fields)))
+	for _, f := range t.Fields {
+		n += valueSize(f)
+	}
+	return n
+}
+
+func valueSize(v Value) int {
+	switch v.kind {
+	case KindInt:
+		return 1 + varintLen(int64(v.num))
+	case KindID, KindFloat:
+		return 1 + 8
+	case KindStr:
+		return 1 + uvarintLen(uint64(len(v.str))) + len(v.str)
+	case KindBool:
+		return 1 + 1
+	case KindList:
+		n := 1 + uvarintLen(uint64(len(v.list)))
+		for _, e := range v.list {
+			n += valueSize(e)
+		}
+		return n
+	}
+	return 1 // KindNil and unknown kinds: the kind byte alone
+}
+
+func uvarintLen(x uint64) int { return (bits.Len64(x|1) + 6) / 7 }
+
+func varintLen(x int64) int {
+	ux := uint64(x) << 1 // zig-zag, as binary.AppendVarint encodes
+	if x < 0 {
+		ux = ^ux
+	}
+	return uvarintLen(ux)
 }
 
 // Unmarshal decodes one tuple from b, returning the tuple and the number

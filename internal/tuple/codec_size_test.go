@@ -1,0 +1,53 @@
+package tuple
+
+import "testing"
+
+// sizeCases cover every value kind, nesting, and varint boundaries.
+var sizeCases = []Tuple{
+	New("t"),
+	New("succ", Str("n1"), ID(123456789), Str("n2")),
+	New("x", Int(0), Int(1), Int(-1), Int(63), Int(64), Int(-64), Int(-65),
+		Int(1<<40), Int(-(1 << 40))),
+	New("f", Float(0), Float(3.14159), Float(-1e300)),
+	New("b", Bool(true), Bool(false), Nil),
+	New("path", Str("n1"), List(Str("a"), List(Int(300), Nil), Bool(true))),
+	New("longname_predicate_with_many_characters", Str(string(make([]byte, 200)))),
+}
+
+// TestEncodedSizeMatchesMarshal: EncodedSize must be exact — it is what
+// the engine pre-sizes send buffers with.
+func TestEncodedSizeMatchesMarshal(t *testing.T) {
+	for _, tc := range sizeCases {
+		got := EncodedSize(tc)
+		want := len(Marshal(nil, tc))
+		if got != want {
+			t.Errorf("EncodedSize(%v) = %d, marshal produced %d bytes", tc, got, want)
+		}
+	}
+}
+
+// BenchmarkMarshalGrow is the old send-path pattern: marshal into a nil
+// buffer, growing append by append.
+func BenchmarkMarshalGrow(b *testing.B) {
+	tc := sizeCases[5]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Marshal(nil, tc)
+	}
+}
+
+// BenchmarkMarshalPresized is the new send-path pattern: size the buffer
+// from EncodedSize, reuse a scratch buffer, copy out the exact bytes.
+func BenchmarkMarshalPresized(b *testing.B) {
+	tc := sizeCases[5]
+	var scratch []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if sz := EncodedSize(tc); cap(scratch) < sz {
+			scratch = make([]byte, 0, sz)
+		}
+		scratch = Marshal(scratch[:0], tc)
+		raw := append(make([]byte, 0, len(scratch)), scratch...)
+		_ = raw
+	}
+}
