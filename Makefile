@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test check cover bench bench-smoke fuzz examples tidy
+.PHONY: build test check cover bench bench-smoke bench-churn fuzz examples tidy
 
 build:
 	go build ./...
@@ -28,6 +28,12 @@ bench:
 # speedup and cross-checks that results are bit-identical.
 bench-smoke:
 	go run ./cmd/p2bench -exp smoke
+
+# The churn experiment: crash/rejoin a 21-node ring with the §3.1
+# detectors deployed; prints the repair/detection table and writes
+# BENCH_churn.json.
+bench-churn:
+	go run ./cmd/p2bench -exp churn -json
 
 fuzz:
 	go test -run '^$$' -fuzz FuzzUnmarshal -fuzztime 30s ./internal/tuple/

@@ -11,27 +11,34 @@
 //	p2bench -exp fig6           # proactive consistency probes
 //	p2bench -exp fig7           # consistent snapshots
 //	p2bench -exp smoke          # one fig6 point in both drivers + speedup
+//	p2bench -exp churn          # crash/rejoin churn with §3.1 detectors
+//	p2bench -exp scenario -scenario f.txt   # replay a fault scenario file
 //
 // -parallel runs every ring on simnet's conservative parallel driver
 // (same virtual-time results, different wall clock); -workers bounds its
-// worker pool (0 = GOMAXPROCS).
+// worker pool (0 = GOMAXPROCS). -json additionally writes each
+// experiment's result to BENCH_<exp>.json.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"runtime"
 
 	"p2go/internal/bench"
+	"p2go/internal/faults"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: logging, fig4, fig5, fig6, fig7, smoke, all")
+		exp      = flag.String("exp", "all", "experiment: logging, fig4, fig5, fig6, fig7, smoke, ablation, churn, scenario, all")
 		seed     = flag.Int64("seed", 42, "random seed")
 		parallel = flag.Bool("parallel", false, "run rings on the conservative parallel simnet driver")
 		workers  = flag.Int("workers", 0, "parallel worker pool size (0 = GOMAXPROCS)")
+		jsonOut  = flag.Bool("json", false, "also write each experiment's result to BENCH_<exp>.json")
+		scenario = flag.String("scenario", "", "fault scenario file for -exp scenario (see internal/faults.Parse)")
 	)
 	flag.Parse()
 	bench.Parallel = *parallel
@@ -39,6 +46,7 @@ func main() {
 
 	counts := []int{0, 50, 100, 150, 200, 250}
 	run := func(name string) {
+		var payload any
 		switch name {
 		case "logging":
 			off, on, err := bench.LoggingOverhead(*seed)
@@ -51,6 +59,7 @@ func main() {
 			fmt.Printf("  increase: CPU %+.0f%%, memory %+.0f%%\n",
 				100*(on.CPUPercent-off.CPUPercent)/off.CPUPercent,
 				100*(on.MemoryMB-off.MemoryMB)/off.MemoryMB)
+			payload = map[string]bench.Sample{"off": off, "on": on}
 		case "fig4":
 			s, err := bench.PeriodicRules(*seed, counts)
 			if err != nil {
@@ -58,6 +67,7 @@ func main() {
 			}
 			fmt.Print(bench.FormatTable(
 				"Figure 4: CPU and memory vs number of 1s periodic rules", s))
+			payload = s
 		case "fig5":
 			s, err := bench.PiggybackRules(*seed, counts)
 			if err != nil {
@@ -65,6 +75,7 @@ func main() {
 			}
 			fmt.Print(bench.FormatTable(
 				"Figure 5: CPU and memory vs number of piggybacked rules (one shared 1s timer, one state lookup each)", s))
+			payload = s
 		case "fig6":
 			s, err := bench.ConsistencyProbes(*seed)
 			if err != nil {
@@ -72,6 +83,7 @@ func main() {
 			}
 			fmt.Print(bench.FormatTable(
 				"Figure 6: proactive inconsistency detector at increasing rates (1/s)", s))
+			payload = s
 		case "fig7":
 			s, err := bench.Snapshots(*seed)
 			if err != nil {
@@ -79,6 +91,7 @@ func main() {
 			}
 			fmt.Print(bench.FormatTable(
 				"Figure 7: consistent snapshots at increasing rates (1/s)", s))
+			payload = s
 		case "smoke":
 			res, err := bench.SpeedupSmoke(*seed, *workers)
 			if err != nil {
@@ -94,6 +107,7 @@ func main() {
 			if !res.Match {
 				log.Fatal("determinism contract violated: drivers disagree")
 			}
+			payload = res
 		case "ablation":
 			idx, scan, err := bench.AblationIndexedJoins(*seed)
 			if err != nil {
@@ -110,14 +124,50 @@ func main() {
 				guard.HealTime, guard.StaleSeconds, guard.Oscillations)
 			fmt.Printf("  without guard: healed at %+.0fs, stale-entry exposure %6.0f entry-seconds, %d oscillation events\n",
 				buggy.HealTime, buggy.StaleSeconds, buggy.Oscillations)
+			payload = map[string]any{
+				"indexedJoins": map[string]bench.Sample{"indexed": idx, "scans": scan},
+				"deadGuard":    map[string]bench.DeadGuardResult{"guard": guard, "buggy": buggy},
+			}
+		case "churn":
+			res, err := bench.Churn(*seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(bench.FormatChurn(res))
+			payload = res
+		case "scenario":
+			if *scenario == "" {
+				log.Fatal("-exp scenario needs -scenario <file>")
+			}
+			text, err := os.ReadFile(*scenario)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sc, err := faults.Parse(string(text))
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := bench.RunScenario(*seed, sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(bench.FormatScenario(res))
+			payload = res
 		default:
 			log.Fatalf("unknown experiment %q", name)
 		}
 		fmt.Println()
+		if *jsonOut && payload != nil {
+			path := fmt.Sprintf("BENCH_%s.json", name)
+			if err := bench.WriteJSON(path, name, *seed, payload); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"logging", "fig4", "fig5", "fig6", "fig7", "ablation"} {
+		for _, name := range []string{"logging", "fig4", "fig5", "fig6", "fig7", "ablation", "churn"} {
 			run(name)
 		}
 		return

@@ -1,0 +1,23 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// WriteJSON writes one experiment's result as indented JSON (the
+// machine-readable twin of the printed tables; p2bench's -json flag
+// emits BENCH_<exp>.json next to the working directory).
+func WriteJSON(path, experiment string, seed int64, data any) error {
+	payload := struct {
+		Experiment string `json:"experiment"`
+		Seed       int64  `json:"seed"`
+		Data       any    `json:"data"`
+	}{experiment, seed, data}
+	b, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal %s: %w", experiment, err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

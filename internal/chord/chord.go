@@ -239,8 +239,11 @@ func installProgram(n *engine.Node, prog *overlog.Program, landmark string) erro
 		tuple.New("pred", tuple.Str(addr), tuple.Int(0), tuple.Str("-")),
 		tuple.New("nextFingerFix", tuple.Str(addr), tuple.Int(32)),
 	}
+	// SeedLocal (not HandleLocal) records these as the node's preamble,
+	// so a restart with soft-state loss re-bootstraps from the same
+	// identity and landmark pointer and rejoins the ring autonomously.
 	for _, s := range seeds {
-		n.HandleLocal(s)
+		n.SeedLocal(s)
 	}
 	return nil
 }

@@ -122,6 +122,10 @@ type Node struct {
 	micro        float64 // cost accumulated within the current task
 	queue        []queued
 	scratch      []byte // reusable marshal buffer for the send postamble
+	// preamble holds the seed tuples injected via SeedLocal, in order;
+	// Rejoin replays them after a restart with soft-state loss (the
+	// bootstrap a real process re-runs when it comes back up).
+	preamble []tuple.Tuple
 
 	ruleTable  *table.Table
 	tableTable *table.Table
@@ -318,6 +322,47 @@ func (n *Node) periodicTuple(p *Periodic) tuple.Tuple {
 // landmark rows) and operator-initiated events (orderingEvent, traceResp).
 func (n *Node) HandleLocal(t tuple.Tuple) float64 {
 	return n.runTask(queued{t: t, src: n.cfg.Addr}, 0)
+}
+
+// SeedLocal injects a tuple like HandleLocal and additionally records it
+// as part of the node's preamble: the bootstrap state a process re-runs
+// on startup. Rejoin replays the preamble after soft-state loss.
+func (n *Node) SeedLocal(t tuple.Tuple) float64 {
+	n.preamble = append(n.preamble, t)
+	return n.HandleLocal(t)
+}
+
+// Preamble returns the recorded seed tuples, in injection order.
+func (n *Node) Preamble() []tuple.Tuple { return n.preamble }
+
+// Rejoin models a process restart after a crash with soft-state loss:
+// all application tables are cleared (no delete events fire — the state
+// of a dead process simply vanishes) and the preamble is replayed, so
+// the node bootstraps afresh exactly as it did at install time.
+// Installed programs, rule strands, watches, the tracer, and the
+// reflection tables survive: they are the program, not its soft state.
+// Like every Handle* entry point it runs one task and returns its cost.
+func (n *Node) Rejoin() float64 {
+	n.micro = 0
+	n.queue = n.queue[:0] // work queued in the dead process is gone
+	for _, name := range n.store.Names() {
+		if name == RuleTableName || name == TableTableName {
+			continue
+		}
+		n.store.Get(name).Clear()
+		n.bill(dataflow.CostTableOp)
+	}
+	if n.tracer != nil {
+		n.tracer.Reset() // memoized provenance died with the trace tables
+	}
+	for _, t := range n.preamble {
+		n.queue = append(n.queue, queued{t: t.WithID(0), src: n.cfg.Addr})
+	}
+	n.drain()
+	if n.tracer != nil {
+		n.tracer.TaskDone()
+	}
+	return n.micro
 }
 
 // Sweep expires soft state; drivers call it about once per virtual

@@ -1,0 +1,126 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the tiny scenario text format:
+//
+//	# comment; blank lines ignored
+//	scenario churn                     (optional; names the scenario)
+//	at 60 crash n3 n7 n11
+//	at 120 rejoin n3 n7 n11
+//	at 30 partition n1-n2 n1-n4 dur 30
+//	at 90 heal n1-n2
+//	at 10 delay n1->n2 0.05 dur 20
+//	at 10 drop n2->* p 0.3 dur 20
+//	at 10 dup *->* p 0.1
+//	at 10 reorder n2->n3 p 0.5 dur 60
+//
+// Each fault line is `at <seconds> <kind> <targets...> [<magnitude>]
+// [p <prob>] [dur <seconds>]`. Node faults (crash/restart/rejoin) list
+// node addresses; partition/heal list undirected pairs `a-b`; the
+// message-level faults list directed links `src->dst` where either side
+// may be `*`. `delay` takes its jitter bound in seconds as a bare
+// number. Times are absolute virtual seconds (callers usually
+// Scenario.Shift them past a convergence phase).
+func Parse(text string) (Scenario, error) {
+	var sc Scenario
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "scenario" {
+			if len(fields) != 2 {
+				return sc, fmt.Errorf("faults: line %d: scenario wants one name", lineNo+1)
+			}
+			sc.Name = fields[1]
+			continue
+		}
+		ev, err := parseEvent(fields)
+		if err != nil {
+			return sc, fmt.Errorf("faults: line %d: %w", lineNo+1, err)
+		}
+		sc.Events = append(sc.Events, ev)
+	}
+	if err := sc.Validate(); err != nil {
+		return sc, err
+	}
+	return sc, nil
+}
+
+// MustParse is Parse for compile-time-constant scenarios; it panics on
+// error.
+func MustParse(text string) Scenario {
+	sc, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return sc
+}
+
+func parseEvent(fields []string) (Event, error) {
+	var ev Event
+	if len(fields) < 3 || fields[0] != "at" {
+		return ev, fmt.Errorf("want `at <seconds> <kind> ...`, got %q", strings.Join(fields, " "))
+	}
+	at, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return ev, fmt.Errorf("bad time %q", fields[1])
+	}
+	ev.At = at
+	ev.Kind = Kind(fields[2])
+	args := fields[3:]
+	for i := 0; i < len(args); i++ {
+		switch arg := args[i]; arg {
+		case "p":
+			if i+1 >= len(args) {
+				return ev, fmt.Errorf("p wants a probability")
+			}
+			if ev.Prob, err = strconv.ParseFloat(args[i+1], 64); err != nil {
+				return ev, fmt.Errorf("bad probability %q", args[i+1])
+			}
+			i++
+		case "dur":
+			if i+1 >= len(args) {
+				return ev, fmt.Errorf("dur wants seconds")
+			}
+			if ev.Duration, err = strconv.ParseFloat(args[i+1], 64); err != nil {
+				return ev, fmt.Errorf("bad duration %q", args[i+1])
+			}
+			i++
+		default:
+			if v, err := strconv.ParseFloat(arg, 64); err == nil {
+				// A bare number is the magnitude (delay bound).
+				ev.Delay = v
+				continue
+			}
+			switch ev.Kind {
+			case Crash, Restart, Rejoin:
+				ev.Nodes = append(ev.Nodes, arg)
+			case Partition, Heal:
+				a, b, ok := strings.Cut(arg, "-")
+				if !ok || a == "" || b == "" {
+					return ev, fmt.Errorf("partition target %q wants the form a-b", arg)
+				}
+				ev.Links = append(ev.Links, [2]string{a, b})
+			case Delay, Duplicate, Reorder, Drop:
+				src, dst, ok := strings.Cut(arg, "->")
+				if !ok || src == "" || dst == "" {
+					return ev, fmt.Errorf("link target %q wants the form src->dst", arg)
+				}
+				ev.Links = append(ev.Links, [2]string{src, dst})
+			default:
+				return ev, fmt.Errorf("unknown fault kind %q", ev.Kind)
+			}
+		}
+	}
+	return ev, nil
+}

@@ -1,0 +1,90 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleScenario = `
+# three-node churn with background link trouble
+scenario churn-demo
+at 60 crash n3 n7 n11
+at 120 rejoin n3 n7 n11
+at 30 partition n1-n2 n1-n4 dur 30
+at 90 heal n1-n2
+at 10 delay n1->n2 0.05 dur 20
+at 10 drop n2->* p 0.3 dur 20
+at 10 dup *->* p 0.1
+at 10 reorder n2->n3 p 0.5 dur 60
+`
+
+func TestParseScenario(t *testing.T) {
+	sc, err := Parse(sampleScenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "churn-demo" {
+		t.Errorf("name = %q", sc.Name)
+	}
+	if len(sc.Events) != 8 {
+		t.Fatalf("parsed %d events, want 8", len(sc.Events))
+	}
+	ev := sc.Events[0]
+	if ev.At != 60 || ev.Kind != Crash || len(ev.Nodes) != 3 || ev.Nodes[2] != "n11" {
+		t.Errorf("crash event = %+v", ev)
+	}
+	ev = sc.Events[2]
+	if ev.Kind != Partition || ev.Duration != 30 ||
+		len(ev.Links) != 2 || ev.Links[1] != [2]string{"n1", "n4"} {
+		t.Errorf("partition event = %+v", ev)
+	}
+	ev = sc.Events[4]
+	if ev.Kind != Delay || ev.Delay != 0.05 || ev.Links[0] != [2]string{"n1", "n2"} {
+		t.Errorf("delay event = %+v", ev)
+	}
+	ev = sc.Events[5]
+	if ev.Kind != Drop || ev.Prob != 0.3 || ev.Links[0] != [2]string{"n2", "*"} {
+		t.Errorf("drop event = %+v", ev)
+	}
+	ev = sc.Events[6]
+	if ev.Kind != Duplicate || ev.Links[0] != [2]string{"*", "*"} {
+		t.Errorf("dup event = %+v", ev)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ text, want string }{
+		{"at x crash n1", "bad time"},
+		{"at 5 frobnicate n1", "unknown"},
+		{"at 5 crash", "needs target nodes"},
+		{"at 5 partition n1", "form a-b"},
+		{"at 5 drop n1:n2 p 0.5", "form src->dst"},
+		{"at 5 drop n1->n2 p", "wants a probability"},
+		{"at 5 drop n1->n2 p 1.5", "outside (0, 1]"},
+		{"at 5 drop n1->n2", "probability"},
+		{"at 5 delay n1->n2", "positive delay"},
+		{"at -5 crash n1", "negative time"},
+		{"at 5 crash n1 dur -2", "negative duration"},
+		{"scenario a b", "one name"},
+		{"crash n1", "at <seconds>"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.text); err == nil {
+			t.Errorf("Parse(%q) accepted", c.text)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error %q, want mention of %q", c.text, err, c.want)
+		}
+	}
+}
+
+func TestShift(t *testing.T) {
+	sc := MustParse("at 10 crash n1\nat 20 rejoin n1")
+	sh := sc.Shift(300)
+	if sh.Events[0].At != 310 || sh.Events[1].At != 320 {
+		t.Errorf("shifted = %+v", sh.Events)
+	}
+	// The original is untouched.
+	if sc.Events[0].At != 10 {
+		t.Errorf("Shift mutated the receiver: %+v", sc.Events)
+	}
+}

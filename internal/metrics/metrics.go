@@ -53,6 +53,49 @@ func (n Node) Sub(prev Node) Node {
 	}
 }
 
+// Faults counts fault-injection activity: how many scenario events were
+// applied, what they did to nodes and links, and how many messages the
+// message-level faults (targeted drop, duplication, reordering, delay
+// jitter) actually touched. The simnet network owns the node/link and
+// message counters; the faults injector fills Injected.
+type Faults struct {
+	// Injected counts scenario events applied by the injector.
+	Injected int64
+	// Crashes / Restarts / Rejoins count node lifecycle transitions
+	// (a Rejoin is a restart with soft-state loss).
+	Crashes  int64
+	Restarts int64
+	Rejoins  int64
+	// Partitions / Heals count link severing and restoration events.
+	Partitions int64
+	Heals      int64
+	// LinkFaults counts link-fault table updates (set or clear).
+	LinkFaults int64
+	// MsgsDropped counts messages killed by targeted drops (on top of
+	// the network's base loss, which Network.Dropped reports).
+	MsgsDropped int64
+	// MsgsDuplicated / MsgsReordered / MsgsDelayed count messages the
+	// respective link fault touched.
+	MsgsDuplicated int64
+	MsgsReordered  int64
+	MsgsDelayed    int64
+}
+
+// Add accumulates other's counters into f.
+func (f *Faults) Add(other Faults) {
+	f.Injected += other.Injected
+	f.Crashes += other.Crashes
+	f.Restarts += other.Restarts
+	f.Rejoins += other.Rejoins
+	f.Partitions += other.Partitions
+	f.Heals += other.Heals
+	f.LinkFaults += other.LinkFaults
+	f.MsgsDropped += other.MsgsDropped
+	f.MsgsDuplicated += other.MsgsDuplicated
+	f.MsgsReordered += other.MsgsReordered
+	f.MsgsDelayed += other.MsgsDelayed
+}
+
 // CPUPercent converts a windowed busy time into utilization of the
 // window, in percent.
 func CPUPercent(busySeconds, windowSeconds float64) float64 {

@@ -1,0 +1,154 @@
+package monitor
+
+import (
+	"testing"
+
+	"p2go/internal/chord"
+	"p2go/internal/faults"
+	"p2go/internal/overlog"
+)
+
+// ringDetectors deploys the full §3.1.1 ring checker suite (active
+// rp1-rp3/rs1-rs3 probes and the passive rp4 check).
+func ringDetectors(tProbe float64) []*overlog.Program {
+	return []*overlog.Program{RingProbeProgram(tProbe), RingPassiveProgram()}
+}
+
+// ringAlarms are the watched predicates those checkers raise.
+var ringAlarms = []string{"inconsistentPred", "inconsistentSucc"}
+
+// TestChurnDetection is the §3.1 true-positive experiment: on a churned
+// ring (three crashes, later rejoins) the deployed ring detectors stay
+// silent while the ring is healthy, fire within bounded virtual time of
+// the crash, and fall silent again once the ring has repaired.
+func TestChurnDetection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("11-node 540s churn run")
+	}
+	// End=480 leaves room for the full post-rejoin reconciliation: with
+	// three nodes rejoining at once the ring takes a secondary
+	// stabilization burst ~2 min after the rejoin before going quiet
+	// for good.
+	_, res, err := chord.RunChurn(chord.ChurnConfig{
+		N: 11, Converge: 240, End: 480,
+		Detectors:  ringDetectors(5),
+		AlarmNames: ringAlarms,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PreAlarms != 0 {
+		t.Errorf("healthy converged ring raised %d alarms before the crash", res.PreAlarms)
+	}
+	if res.Detection < 0 {
+		t.Fatal("detectors never fired after the crash")
+	}
+	if res.Detection > 60 {
+		t.Errorf("detection latency %.1fs exceeds the 60s bound", res.Detection)
+	}
+	if res.Alarms == 0 {
+		t.Error("no alarms counted over the churn window")
+	}
+	if res.QuietAlarms != 0 {
+		t.Errorf("detectors did not re-silence: %d alarms in the final quiet window (last at t=%.0fs)",
+			res.QuietAlarms, res.LastAlarm)
+	}
+	if res.SurvivorRepair < 0 || res.RejoinRepair < 0 {
+		t.Errorf("ring did not repair: %+v", res)
+	}
+}
+
+// TestPartitionDetection: isolating one node behind a partition (no
+// crash — the node keeps running) corrupts the ring as seen by the
+// detectors; alarms arrive within bounded time of the cut and stop
+// after the heal and re-stabilization.
+func TestPartitionDetection(t *testing.T) {
+	r, err := chord.NewRing(chord.RingConfig{N: 8, Seed: 13,
+		ExtraPrograms: ringDetectors(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(200)
+	if bad := r.CheckRing(r.Addrs); len(bad) > 0 {
+		t.Fatalf("ring not converged: %v", bad)
+	}
+	base := r.Sim.Now()
+	victim := "n4"
+	var ev faults.Event
+	ev = faults.Event{At: base + 10, Kind: faults.Partition, Duration: 60}
+	for _, a := range r.Addrs {
+		if a != victim {
+			ev.Links = append(ev.Links, [2]string{victim, a})
+		}
+	}
+	if _, err := faults.Arm(r.Net, faults.Scenario{Name: "isolate", Events: []faults.Event{ev}}); err != nil {
+		t.Fatal(err)
+	}
+	r.Run(180)
+
+	cut := base + 10
+	first, last := -1.0, -1.0
+	for _, w := range r.Watched {
+		if w.T.Name != "inconsistentPred" && w.T.Name != "inconsistentSucc" {
+			continue
+		}
+		if w.At < base {
+			continue
+		}
+		if w.At < cut {
+			t.Fatalf("alarm before the partition at t=%.1f: %v", w.At, w.T)
+		}
+		if first < 0 {
+			first = w.At
+		}
+		last = w.At
+	}
+	if first < 0 {
+		t.Fatal("detectors never fired on the partitioned ring")
+	}
+	if first-cut > 60 {
+		t.Errorf("detection latency %.1fs exceeds the 60s bound", first-cut)
+	}
+	if quiet := base + 120; last > quiet {
+		t.Errorf("detectors still firing at t=%.1f, want silence after t=%.1f", last, quiet)
+	}
+	if bad := r.CheckRing(r.Addrs); len(bad) > 0 {
+		t.Errorf("ring did not re-converge after the heal: %v", bad)
+	}
+}
+
+// TestOscillationDetectsInjectedCrash: the §3.1.3 oscillation detectors
+// produce true positives when the fault injector crashes a neighbor of
+// a buggy (guard-less) Chord node — same signal as the hand-driven
+// crash in TestOscillationOnBuggyChord, but through the scenario
+// machinery end to end.
+func TestOscillationDetectsInjectedCrash(t *testing.T) {
+	r, err := chord.NewRing(chord.RingConfig{N: 8, Seed: 13, Buggy: true,
+		ExtraPrograms: []*overlog.Program{OscillationProgram()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(200)
+	base := r.Sim.Now()
+	sc := faults.MustParse("scenario kill-n5\nat 5 crash n5").Shift(base)
+	inj, err := faults.Arm(r.Net, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(120)
+	first := -1.0
+	for _, w := range r.Watched {
+		if w.T.Name == "oscill" && w.T.Field(1).AsStr() == "n5" && first < 0 {
+			first = w.At
+		}
+	}
+	if first < 0 {
+		t.Fatal("no oscillations observed for the injected crash on buggy Chord")
+	}
+	if lat := first - (base + 5); lat > 120 {
+		t.Errorf("oscillation detection latency %.1fs out of bounds", lat)
+	}
+	if st := inj.Stats(); st.Crashes != 1 {
+		t.Errorf("injector stats = %+v", st)
+	}
+}

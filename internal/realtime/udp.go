@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"p2go/internal/engine"
@@ -50,6 +51,45 @@ type UDPNode struct {
 	wg    sync.WaitGroup
 	start time.Time
 	mu    sync.Mutex
+	stats transportCounters
+}
+
+// TransportStats are the datagram-level counters of one UDP node: what
+// actually crossed (or failed to cross) the socket, including framing
+// bytes. The engine's own metrics.Node counters (MsgsSent, BytesSent,
+// MsgsRecv, BytesRecv) keep counting payload traffic on this transport
+// exactly as they do under the simulator; these add the wire view plus
+// the drop reasons the simulator doesn't have.
+type TransportStats struct {
+	// DatagramsSent/BytesSent count framed datagrams written to peers.
+	DatagramsSent, BytesSent int64
+	// DatagramsRecv/BytesRecv count datagrams read off the socket
+	// (before decode).
+	DatagramsRecv, BytesRecv int64
+	// DropUnknownPeer counts sends to P2 addresses with no peer
+	// mapping; DropDecode counts undecodable datagrams; DropOverload
+	// counts datagrams shed because the task queue was full.
+	DropUnknownPeer, DropDecode, DropOverload int64
+}
+
+type transportCounters struct {
+	datagramsSent, bytesSent                  atomic.Int64
+	datagramsRecv, bytesRecv                  atomic.Int64
+	dropUnknownPeer, dropDecode, dropOverload atomic.Int64
+}
+
+// TransportStats snapshots the datagram-level counters; safe to call
+// concurrently with a running node.
+func (u *UDPNode) TransportStats() TransportStats {
+	return TransportStats{
+		DatagramsSent:   u.stats.datagramsSent.Load(),
+		BytesSent:       u.stats.bytesSent.Load(),
+		DatagramsRecv:   u.stats.datagramsRecv.Load(),
+		BytesRecv:       u.stats.bytesRecv.Load(),
+		DropUnknownPeer: u.stats.dropUnknownPeer.Load(),
+		DropDecode:      u.stats.dropDecode.Load(),
+		DropOverload:    u.stats.dropOverload.Load(),
+	}
 }
 
 // encodeDatagram frames an envelope for the wire.
@@ -107,9 +147,13 @@ func NewUDPNode(cfg UDPNodeConfig) (*UDPNode, error) {
 		Send: func(dst string, env engine.Envelope, _ float64) {
 			ra, ok := u.peers[dst]
 			if !ok {
+				u.stats.dropUnknownPeer.Add(1)
 				return
 			}
-			u.conn.WriteToUDP(encodeDatagram(env), ra) //nolint:errcheck // datagram loss is expected
+			frame := encodeDatagram(env)
+			u.stats.datagramsSent.Add(1)
+			u.stats.bytesSent.Add(int64(len(frame)))
+			u.conn.WriteToUDP(frame, ra) //nolint:errcheck // datagram loss is expected
 		},
 		OnWatch:       cfg.OnWatch,
 		OnRuleError:   cfg.OnRuleError,
@@ -180,8 +224,11 @@ func (u *UDPNode) Start() {
 			if err != nil {
 				return // socket closed by Stop
 			}
+			u.stats.datagramsRecv.Add(1)
+			u.stats.bytesRecv.Add(int64(n))
 			env, err := decodeDatagram(append([]byte(nil), buf[:n]...))
 			if err != nil {
+				u.stats.dropDecode.Add(1)
 				continue
 			}
 			select {
@@ -189,6 +236,7 @@ func (u *UDPNode) Start() {
 			case <-u.done:
 				return
 			default: // overload: drop, UDP-style
+				u.stats.dropOverload.Add(1)
 			}
 		}
 	}()

@@ -1,0 +1,228 @@
+package simnet
+
+import (
+	"sort"
+	"testing"
+
+	"p2go/internal/metrics"
+	"p2go/internal/overlog"
+	"p2go/internal/tuple"
+)
+
+// TestDroppedMessagesBillSendCPU: the sender pays for a message before
+// the network decides its fate, so its CPU time and traffic counters
+// are identical whether the message is delivered, eaten by loss, or
+// eaten by a partition. (Regression test for the drop-path audit: the
+// loss check used to short-circuit the delay draw, making lossy and
+// lossless runs diverge on the sender side.)
+func TestDroppedMessagesBillSendCPU(t *testing.T) {
+	run := func(loss float64, partitioned bool) (metrics.Node, string) {
+		net, seen := buildPair(t, Config{Seed: 77, LossProb: loss})
+		if partitioned {
+			net.Partition("a", "b")
+		}
+		for i := int64(0); i < 40; i++ {
+			send(t, net, "a", "b", i)
+		}
+		net.Run(10)
+		got := ""
+		for _, v := range seen("b") {
+			got += string(rune('0' + v%10))
+		}
+		return net.Node("a").Metrics(), got
+	}
+	delivered, seenAll := run(0, false)
+	lost, seenNone := run(1, false)
+	cut, seenCut := run(0, true)
+	if len(seenAll) != 40 || seenNone != "" || seenCut != "" {
+		t.Fatalf("delivery sanity: %d delivered, %q lost, %q partitioned",
+			len(seenAll), seenNone, seenCut)
+	}
+	for _, m := range []metrics.Node{lost, cut} {
+		if m.BusySeconds != delivered.BusySeconds ||
+			m.MsgsSent != delivered.MsgsSent ||
+			m.BytesSent != delivered.BytesSent {
+			t.Errorf("sender billing diverged: delivered=%+v dropped=%+v", delivered, m)
+		}
+	}
+}
+
+// TestLinkFaultDrop: a targeted drop fault kills every message on its
+// link and is counted separately from base loss.
+func TestLinkFaultDrop(t *testing.T) {
+	net, seen := buildPair(t, Config{Seed: 8})
+	net.SetLinkFault("a", "b", LinkFault{DropProb: 1})
+	for i := int64(0); i < 20; i++ {
+		send(t, net, "a", "b", i)
+	}
+	net.Run(5)
+	if got := len(seen("b")); got != 0 {
+		t.Errorf("delivered %d messages through a 100%% drop fault", got)
+	}
+	ft := net.FaultTotals()
+	if ft.MsgsDropped != 20 || ft.LinkFaults != 1 {
+		t.Errorf("fault totals = %+v", ft)
+	}
+	// Clearing the fault restores the link.
+	net.SetLinkFault("a", "b", LinkFault{})
+	send(t, net, "a", "b", 99)
+	net.RunFor(5)
+	if got := seen("b"); len(got) != 1 || got[0] != 99 {
+		t.Errorf("seen after clearing fault = %v", got)
+	}
+}
+
+// TestLinkFaultDuplicate: duplication delivers each message twice (the
+// receiver's deduplication is the application's problem, as on a real
+// network).
+func TestLinkFaultDuplicate(t *testing.T) {
+	net, seen := buildPair(t, Config{Seed: 8})
+	net.SetLinkFault("a", "b", LinkFault{DupProb: 1})
+	for i := int64(0); i < 10; i++ {
+		send(t, net, "a", "b", i)
+	}
+	net.Run(5)
+	if got := len(seen("b")); got != 10 {
+		t.Errorf("seen %d distinct tokens, want 10", got)
+	}
+	if m := net.Node("b").Metrics(); m.MsgsRecv != 20 {
+		t.Errorf("receiver saw %d messages, want 20 (duplicates)", m.MsgsRecv)
+	}
+	if ft := net.FaultTotals(); ft.MsgsDuplicated != 10 {
+		t.Errorf("fault totals = %+v", ft)
+	}
+}
+
+// TestLinkFaultReorder: reordered messages escape the per-link FIFO
+// clamp, so with a wide delay spread the arrival order is no longer the
+// send order.
+func TestLinkFaultReorder(t *testing.T) {
+	net, seen := buildPair(t, Config{Seed: 8, MinDelay: 0.001, MaxDelay: 0.5})
+	net.SetLinkFault("a", "b", LinkFault{ReorderProb: 1})
+	for i := int64(0); i < 30; i++ {
+		send(t, net, "a", "b", i)
+	}
+	net.Run(10)
+	got := seen("b")
+	if len(got) != 30 {
+		t.Fatalf("delivered %d of 30", len(got))
+	}
+	if sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Error("arrival order still FIFO under a 100% reorder fault")
+	}
+	if ft := net.FaultTotals(); ft.MsgsReordered != 30 {
+		t.Errorf("fault totals = %+v", ft)
+	}
+}
+
+// TestLinkFaultDelay: extra per-link jitter postpones delivery beyond
+// the network's base latency bounds.
+func TestLinkFaultDelay(t *testing.T) {
+	net, seen := buildPair(t, Config{Seed: 8, MinDelay: 0.001, MaxDelay: 0.002})
+	net.SetLinkFault("a", "b", LinkFault{ExtraDelay: 100})
+	send(t, net, "a", "b", 1)
+	net.Run(1)
+	if got := len(seen("b")); got != 0 {
+		t.Error("delivered within base latency despite a delay fault")
+	}
+	net.Run(200)
+	if got := seen("b"); len(got) != 1 {
+		t.Errorf("delayed message never arrived: %v", got)
+	}
+	if ft := net.FaultTotals(); ft.MsgsDelayed != 1 {
+		t.Errorf("fault totals = %+v", ft)
+	}
+}
+
+// TestLinkFaultWildcard: wildcard link faults apply to every matching
+// link, with exact entries taking precedence.
+func TestLinkFaultWildcard(t *testing.T) {
+	net, seen := buildPair(t, Config{Seed: 8})
+	net.SetLinkFault("*", "*", LinkFault{DropProb: 1})
+	net.SetLinkFault("a", "b", LinkFault{DupProb: 1}) // exact wins: no drop
+	for i := int64(0); i < 5; i++ {
+		send(t, net, "a", "b", i)
+		send(t, net, "b", "a", i)
+	}
+	net.Run(5)
+	if got := len(seen("b")); got != 5 {
+		t.Errorf("exact-match link delivered %d of 5", got)
+	}
+	if got := len(seen("a")); got != 0 {
+		t.Errorf("wildcard drop let %d messages through", got)
+	}
+}
+
+// tickProgram counts 1 Hz periodic firings in a materialized table.
+const tickProgram = `
+materialize(ticks, infinity, infinity, keys(1,2)).
+t1 ticks@N(T) :- periodic@N(E, 1), T := f_now().
+`
+
+// countTicks scans a node's tick table.
+func countTicks(net *Network, addr string) int {
+	n := 0
+	net.Node(addr).Store().Get("ticks").Scan(net.Sim().Now(), func(tuple.Tuple) { n++ })
+	return n
+}
+
+// TestCrashStopsPeriodics: a crashed node's periodic timer chains die
+// with it (epoch bump), and Revive re-arms exactly one chain — ticks
+// resume at the configured rate, not doubled by a surviving old chain.
+func TestCrashStopsPeriodics(t *testing.T) {
+	sim := NewSim()
+	net := NewNetwork(sim, Config{Seed: 13})
+	n, err := net.AddNode("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InstallProgram(overlog.MustParse(tickProgram)); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(10.5)
+	before := countTicks(net, "a")
+	if before < 8 {
+		t.Fatalf("only %d ticks in 10s", before)
+	}
+	net.Crash("a")
+	net.RunFor(10)
+	if got := countTicks(net, "a"); got != before {
+		t.Errorf("crashed node ticked: %d -> %d", before, got)
+	}
+	net.Revive("a")
+	net.RunFor(10)
+	after := countTicks(net, "a")
+	rate := after - before
+	if rate < 8 || rate > 11 {
+		t.Errorf("revived node ticked %d times in 10s, want ~10 (epoch guard)", rate)
+	}
+}
+
+// TestRejoinLosesSoftState: Rejoin revives a node as a fresh process —
+// its tables are empty (soft state lost) but its periodics run again
+// and it processes new traffic.
+func TestRejoinLosesSoftState(t *testing.T) {
+	net, seen := buildPair(t, Config{Seed: 6})
+	for i := int64(0); i < 5; i++ {
+		send(t, net, "a", "b", i)
+	}
+	net.RunFor(1)
+	if got := len(seen("b")); got != 5 {
+		t.Fatalf("delivered %d of 5 before crash", got)
+	}
+	net.Crash("b")
+	net.RunFor(1)
+	net.Rejoin("b")
+	net.RunFor(1)
+	if got := seen("b"); len(got) != 0 {
+		t.Errorf("soft state survived rejoin: %v", got)
+	}
+	send(t, net, "a", "b", 42)
+	net.RunFor(1)
+	if got := seen("b"); len(got) != 1 || got[0] != 42 {
+		t.Errorf("rejoined node not processing traffic: %v", got)
+	}
+	if ft := net.FaultTotals(); ft.Crashes != 1 || ft.Rejoins != 1 {
+		t.Errorf("fault totals = %+v", ft)
+	}
+}

@@ -98,10 +98,37 @@ type host struct {
 	// (send-side sampling/partition/dead-destination drops, plus
 	// arrival-time drops at a down receiver).
 	dropped int64
+	// faultMsgs counts message-level fault effects (targeted drops,
+	// duplication, reordering, delay jitter) this host's execution
+	// applied on its outgoing links. Host-owned like dropped, so
+	// parallel workers never contend on it.
+	faultMsgs metrics.Faults
+	// epoch counts process incarnations. Crash bumps it, orphaning
+	// every timer chain armed for the previous incarnation; Revive and
+	// Rejoin re-arm fresh chains. Only driver-context code writes it.
+	epoch uint64
 	// exec is this host's window context while a parallel window is
 	// running, else nil (see parallel.go).
 	exec *hostExec
 }
+
+// LinkFault is message-level fault state for one directed link (or a
+// wildcard set of links): every message the link carries while the
+// fault is set is independently dropped with DropProb, duplicated with
+// DupProb, exempted from the per-link FIFO clamp with ReorderProb (so
+// it may overtake or be overtaken), and delayed by an extra uniform
+// [0, ExtraDelay) seconds when ExtraDelay > 0. All randomness comes
+// from the sender-owned link RNG stream, so faulty runs stay
+// bit-reproducible under both drivers.
+type LinkFault struct {
+	DropProb    float64
+	DupProb     float64
+	ReorderProb float64
+	ExtraDelay  float64
+}
+
+// IsZero reports whether the fault does nothing.
+func (f LinkFault) IsZero() bool { return f == LinkFault{} }
 
 // Network connects engine nodes over the simulator.
 type Network struct {
@@ -112,6 +139,14 @@ type Network struct {
 	byIdx []*host
 	// blocked holds severed directed links (partition injection).
 	blocked map[[2]string]bool
+	// linkFaults holds message-level fault state per directed link;
+	// either endpoint may be the wildcard "*". Mutated only in driver
+	// context (window barriers), read by workers inside windows — the
+	// same discipline as blocked.
+	linkFaults map[[2]string]LinkFault
+	// faultTotals accumulates node/link fault-injection counters
+	// (driver-context only; message-level counters live on hosts).
+	faultTotals metrics.Faults
 
 	// Parallel-driver scratch state (coordinator-only, never touched by
 	// workers): recycled window contexts and merge buffers, plus run
@@ -127,11 +162,12 @@ type Network struct {
 func NewNetwork(sim *Sim, cfg Config) *Network {
 	cfg = cfg.withDefaults()
 	return &Network{
-		sim:     sim,
-		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		hosts:   make(map[string]*host),
-		blocked: make(map[[2]string]bool),
+		sim:        sim,
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		hosts:      make(map[string]*host),
+		blocked:    make(map[[2]string]bool),
+		linkFaults: make(map[[2]string]LinkFault),
 	}
 }
 
@@ -276,7 +312,53 @@ func (n *Network) outLink(src *host, dst string) *link {
 	return lk
 }
 
+// linkFault resolves the fault state for the directed link src->dst:
+// the most specific matching entry wins (exact, then src->*, then
+// *->dst, then *->*). Returns the zero fault when none matches.
+func (n *Network) linkFault(src, dst string) LinkFault {
+	if len(n.linkFaults) == 0 {
+		return LinkFault{}
+	}
+	for _, key := range [4][2]string{{src, dst}, {src, "*"}, {"*", dst}, {"*", "*"}} {
+		if f, ok := n.linkFaults[key]; ok {
+			return f
+		}
+	}
+	return LinkFault{}
+}
+
+// SetLinkFault installs (or replaces) message-level fault state on the
+// directed link src->dst; either endpoint may be "*". A zero fault
+// clears the entry. Must be called from driver context (between Run
+// calls, or from an unattributed scheduled event — fault injections act
+// as window barriers under the parallel driver).
+func (n *Network) SetLinkFault(src, dst string, f LinkFault) {
+	n.faultTotals.LinkFaults++
+	if f.IsZero() {
+		delete(n.linkFaults, [2]string{src, dst})
+		return
+	}
+	n.linkFaults[[2]string{src, dst}] = f
+}
+
+// GetLinkFault returns the fault entry stored for exactly src->dst
+// (no wildcard resolution), for read-modify-write updates.
+func (n *Network) GetLinkFault(src, dst string) LinkFault {
+	return n.linkFaults[[2]string{src, dst}]
+}
+
 // deliver routes one message; called from inside src's task execution.
+//
+// Drop-path discipline: the sender's CPU cost for a message (the
+// marshal in the engine's send postamble) is billed BEFORE deliver
+// runs, so dropped and delivered messages cost the sender exactly the
+// same simulated CPU. The delay sample is likewise drawn before any
+// probabilistic drop decision, so a dropped message consumes the same
+// link-RNG draws as a delivered one and loss never skews the delays of
+// later messages on the link. TestDroppedMessagesBillSendCPU locks
+// both properties. (Messages to dead, unknown, or partitioned
+// destinations short-circuit before touching the link stream — the
+// sender's OS would fail those sends without network activity.)
 func (n *Network) deliver(src *host, dst string, env engine.Envelope, at float64) {
 	h, ok := n.hosts[dst]
 	if !ok || h.down || n.blocked[[2]string{src.addr, dst}] {
@@ -284,23 +366,64 @@ func (n *Network) deliver(src *host, dst string, env engine.Envelope, at float64
 		return
 	}
 	lk := n.outLink(src, dst)
+	delay := n.cfg.MinDelay + lk.rng.Float64()*(n.cfg.MaxDelay-n.cfg.MinDelay)
 	if n.cfg.LossProb > 0 && lk.rng.Float64() < n.cfg.LossProb {
 		src.dropped++
 		return
 	}
-	delay := n.cfg.MinDelay + lk.rng.Float64()*(n.cfg.MaxDelay-n.cfg.MinDelay)
-	arrival := at + delay
-	if arrival <= lk.lastArrival {
-		arrival = lk.lastArrival + 1e-9 // FIFO per link
-	}
-	lk.lastArrival = arrival
-	n.schedule(src, h, arrival, func() {
-		if h.down {
-			h.dropped++
+	fault := n.linkFault(src.addr, dst)
+	copies := 1
+	reordered := false
+	if !fault.IsZero() {
+		// Fixed draw order keeps faulty runs bit-reproducible: drop,
+		// jitter, duplicate, reorder.
+		if fault.DropProb > 0 && lk.rng.Float64() < fault.DropProb {
+			src.dropped++
+			src.faultMsgs.MsgsDropped++
 			return
 		}
-		n.enqueue(h, func() float64 { return h.node.HandleMessage(env) }, arrival)
-	})
+		if fault.ExtraDelay > 0 {
+			delay += fault.ExtraDelay * lk.rng.Float64()
+			src.faultMsgs.MsgsDelayed++
+		}
+		if fault.DupProb > 0 && lk.rng.Float64() < fault.DupProb {
+			copies = 2
+			src.faultMsgs.MsgsDuplicated++
+		}
+		if fault.ReorderProb > 0 && lk.rng.Float64() < fault.ReorderProb {
+			reordered = true
+			src.faultMsgs.MsgsReordered++
+		}
+	}
+	for c := 0; c < copies; c++ {
+		if c == 1 {
+			// The duplicate is an independent network artifact: it takes
+			// its own delay (and jitter) draws.
+			delay = n.cfg.MinDelay + lk.rng.Float64()*(n.cfg.MaxDelay-n.cfg.MinDelay)
+			if fault.ExtraDelay > 0 {
+				delay += fault.ExtraDelay * lk.rng.Float64()
+			}
+		}
+		arrival := at + delay
+		if reordered {
+			// Off the books: no FIFO clamp and no high-water-mark
+			// update, so this message may overtake its predecessors or
+			// be overtaken by its successors on the link.
+		} else {
+			if arrival <= lk.lastArrival {
+				arrival = lk.lastArrival + 1e-9 // FIFO per link
+			}
+			lk.lastArrival = arrival
+		}
+		arr := arrival
+		n.schedule(src, h, arr, func() {
+			if h.down {
+				h.dropped++
+				return
+			}
+			n.enqueue(h, func() float64 { return h.node.HandleMessage(env) }, arr)
+		})
+	}
 }
 
 // enqueue adds a CPU task to the host's run queue and kicks the server.
@@ -369,12 +492,15 @@ func (n *Network) kick(h *host, now float64) {
 // schedulePeriodic arms a periodic trigger with a random initial phase
 // (staggering, as independent processes would naturally have). The phase
 // draw comes from the host's own RNG stream so it does not depend on
-// what other hosts are doing.
+// what other hosts are doing. The chain is bound to the host's current
+// incarnation: a crash bumps the epoch, so chains armed before it die
+// at their next firing and a revived host re-arms fresh ones.
 func (n *Network) schedulePeriodic(h *host, p *engine.Periodic) {
+	epoch := h.epoch
 	first := n.hostClock(h) + p.Period()*(0.05+0.95*h.rng.Float64())
 	var fire func(at float64)
 	fire = func(at float64) {
-		if h.down || p.Done() {
+		if h.down || h.epoch != epoch || p.Done() {
 			return
 		}
 		n.enqueue(h, func() float64 { return h.node.HandleTimer(p) }, at)
@@ -382,6 +508,18 @@ func (n *Network) schedulePeriodic(h *host, p *engine.Periodic) {
 		n.schedule(h, h, next, func() { fire(next) })
 	}
 	n.schedule(h, h, first, func() { fire(first) })
+}
+
+// rearmPeriodics arms a fresh timer chain for every live periodic
+// trigger of a revived host (the old chains died with the previous
+// incarnation's epoch). Fresh stagger draws come from the host's own
+// RNG stream, exactly as at install time.
+func (n *Network) rearmPeriodics(h *host) {
+	for _, p := range h.node.Periodics() {
+		if !p.Done() {
+			n.schedulePeriodic(h, p)
+		}
+	}
 }
 
 // Inject delivers a tuple to a node as a local event at the current time.
@@ -412,32 +550,68 @@ func (n *Network) InjectAt(at float64, addr string, t tuple.Tuple) error {
 }
 
 // Crash fail-stops a node: pending tasks are discarded, future messages
-// and timers are dropped.
+// are dropped, and every timer chain is orphaned (the epoch bump kills
+// it at its next firing). Must be called from driver context.
 func (n *Network) Crash(addr string) {
-	if h, ok := n.hosts[addr]; ok {
+	if h, ok := n.hosts[addr]; ok && !h.down {
+		n.faultTotals.Crashes++
 		h.down = true
+		h.epoch++
 		h.clearQueue()
+		h.busyUntil = n.sim.Now() // CPU work in flight dies with the process
 	}
 }
 
-// Revive brings a crashed node back (state intact — a restart-with-disk
-// model; tests that need amnesia create a fresh node instead).
+// Revive brings a crashed node back with its state intact (a
+// restart-with-disk model; Rejoin models soft-state loss) and re-arms
+// its periodic timers. Must be called from driver context.
 func (n *Network) Revive(addr string) {
-	if h, ok := n.hosts[addr]; ok {
+	if h, ok := n.hosts[addr]; ok && h.down {
+		n.faultTotals.Restarts++
 		h.down = false
+		n.rearmPeriodics(h)
+	}
+}
+
+// Rejoin brings a crashed node back as a fresh process: its soft state
+// is gone (no delete events fire — the state of a dead process simply
+// vanishes), the engine replays the node's preamble so it bootstraps
+// exactly as it did at install time, and periodic timers are re-armed.
+// Must be called from driver context; the faults injector schedules it
+// as a window barrier, so both drivers execute it identically.
+func (n *Network) Rejoin(addr string) {
+	if h, ok := n.hosts[addr]; ok && h.down {
+		n.faultTotals.Rejoins++
+		h.down = false
+		n.enqueue(h, h.node.Rejoin, n.sim.Now())
+		n.rearmPeriodics(h)
 	}
 }
 
 // Partition severs both directions between a and b; Heal restores them.
 func (n *Network) Partition(a, b string) {
+	n.faultTotals.Partitions++
 	n.blocked[[2]string{a, b}] = true
 	n.blocked[[2]string{b, a}] = true
 }
 
 // Heal removes a partition between a and b.
 func (n *Network) Heal(a, b string) {
+	n.faultTotals.Heals++
 	delete(n.blocked, [2]string{a, b})
 	delete(n.blocked, [2]string{b, a})
+}
+
+// FaultTotals returns the accumulated fault-injection counters:
+// node/link lifecycle events plus the message-level effects summed over
+// the per-host counters (in node-creation order, like TotalMetrics).
+// The Injected field stays zero here; the faults injector fills it.
+func (n *Network) FaultTotals() metrics.Faults {
+	total := n.faultTotals
+	for _, h := range n.byIdx {
+		total.Add(h.faultMsgs)
+	}
+	return total
 }
 
 // Run advances the simulation to absolute virtual time t using the

@@ -1,0 +1,62 @@
+package table
+
+import (
+	"math"
+	"testing"
+
+	"p2go/internal/tuple"
+)
+
+// TestClearDropsStateKeepsDefinition: Clear models process death — all
+// rows, sequence state, and index contents vanish silently (no delete
+// notifications; a dead process emits no events), but the table's spec
+// and index definitions survive and the table keeps working.
+func TestClearDropsStateKeepsDefinition(t *testing.T) {
+	tb := New(Spec{Name: "succ", Lifetime: 30, MaxSize: Infinity, Keys: []int{2}})
+	tb.EnsureIndex([]int{2})
+	notified := 0
+	tb.Subscribe(func(Op, tuple.Tuple) { notified++ })
+	for i := uint64(1); i <= 5; i++ {
+		if _, err := tb.Insert(succ("n1", i*10, "n2"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	notifiedBefore := notified
+
+	tb.Clear()
+	if tb.Count() != 0 {
+		t.Errorf("count after Clear = %d", tb.Count())
+	}
+	got := 0
+	tb.Scan(1, func(tuple.Tuple) { got++ })
+	if got != 0 {
+		t.Errorf("Scan found %d rows after Clear", got)
+	}
+	if n := tb.MatchIndexed(1, []int{2}, []tuple.Value{tuple.Str("n2")},
+		func(tuple.Tuple) {}); n != 0 {
+		t.Errorf("index found %d rows after Clear", n)
+	}
+	if !math.IsInf(tb.NextExpiry(), 1) {
+		t.Errorf("NextExpiry after Clear = %v, want +Inf", tb.NextExpiry())
+	}
+	if notified != notifiedBefore {
+		t.Errorf("Clear fired %d listener events; process death must be silent",
+			notified-notifiedBefore)
+	}
+
+	// The definition survives: inserts, index maintenance and expiry
+	// still work.
+	if _, err := tb.Insert(succ("n1", 99, "n3"), 100); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Count() != 1 {
+		t.Errorf("count after post-Clear insert = %d", tb.Count())
+	}
+	if n := tb.MatchIndexed(100, []int{2}, []tuple.Value{tuple.Str("n3")},
+		func(tuple.Tuple) {}); n != 1 {
+		t.Errorf("index found %d rows after post-Clear insert", n)
+	}
+	if e := tb.NextExpiry(); e != 130 {
+		t.Errorf("NextExpiry after post-Clear insert = %v, want 130", e)
+	}
+}

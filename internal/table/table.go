@@ -371,6 +371,22 @@ func (tb *Table) expireLocked(now float64) {
 	}
 }
 
+// Clear drops every row WITHOUT firing delete listeners: it models the
+// soft-state loss of a process death (a crashed node emits no delete
+// events — its state simply vanishes), which is what the fault
+// injector's restart-with-amnesia needs. Secondary indexes keep their
+// definitions but lose their rows.
+func (tb *Table) Clear() {
+	tb.rows = make(map[uint64][]row)
+	tb.seqs = make(map[uint64]uint64)
+	tb.fifo = tb.fifo[:0]
+	tb.count = 0
+	tb.soonest = math.Inf(1)
+	for _, ix := range tb.indexes {
+		ix.buckets = make(map[uint64][]uint64)
+	}
+}
+
 // NextExpiry returns the earliest row expiry time, or +Inf when nothing
 // expires. The engine uses it to schedule expiry sweeps.
 func (tb *Table) NextExpiry() float64 {

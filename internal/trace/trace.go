@@ -379,6 +379,19 @@ func (tr *Tracer) Content(id uint64) (tuple.Tuple, bool) {
 	return tuple.Tuple{}, false
 }
 
+// Reset drops every piece of in-memory trace state: memoized
+// provenance, pending registrations, and strand records. The engine
+// calls it when a node restarts with soft-state loss — the trace tables
+// in the store are cleared alongside, so keeping memo references to
+// rows that no longer exist would leak entries forever. Configuration
+// and table handles survive; tracing resumes with the first post-restart
+// task.
+func (tr *Tracer) Reset() {
+	tr.memo = make(map[uint64]*memoEntry)
+	tr.pending = make(map[uint64]prov)
+	tr.records = make(map[*dataflow.Strand][]*record)
+}
+
 // MemoSize reports how many tuples are currently memoized (live trace
 // tuples, part of the memory-overhead measurements).
 func (tr *Tracer) MemoSize() int { return len(tr.memo) }
