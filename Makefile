@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test check cover bench bench-smoke bench-churn fuzz examples tidy
+.PHONY: build test check cover bench bench-smoke bench-churn bench-lifecycle fuzz examples tidy
 
 build:
 	go build ./...
@@ -34,6 +34,12 @@ bench-smoke:
 # BENCH_churn.json.
 bench-churn:
 	go run ./cmd/p2bench -exp churn -json
+
+# The query-lifecycle experiment: install, meter and uninstall each §3.1
+# detector on a converged 21-node ring; prints the marginal-cost table
+# and writes BENCH_lifecycle.json.
+bench-lifecycle:
+	go run ./cmd/p2bench -exp lifecycle -json
 
 fuzz:
 	go test -run '^$$' -fuzz FuzzUnmarshal -fuzztime 30s ./internal/tuple/

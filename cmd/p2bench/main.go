@@ -12,6 +12,7 @@
 //	p2bench -exp fig7           # consistent snapshots
 //	p2bench -exp smoke          # one fig6 point in both drivers + speedup
 //	p2bench -exp churn          # crash/rejoin churn with §3.1 detectors
+//	p2bench -exp lifecycle      # install/measure/uninstall each §3.1 detector
 //	p2bench -exp scenario -scenario f.txt   # replay a fault scenario file
 //
 // -parallel runs every ring on simnet's conservative parallel driver
@@ -33,12 +34,13 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: logging, fig4, fig5, fig6, fig7, smoke, ablation, churn, scenario, all")
+		exp      = flag.String("exp", "all", "experiment: logging, fig4, fig5, fig6, fig7, smoke, ablation, churn, lifecycle, scenario, all")
 		seed     = flag.Int64("seed", 42, "random seed")
 		parallel = flag.Bool("parallel", false, "run rings on the conservative parallel simnet driver")
 		workers  = flag.Int("workers", 0, "parallel worker pool size (0 = GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "also write each experiment's result to BENCH_<exp>.json")
 		scenario = flag.String("scenario", "", "fault scenario file for -exp scenario (see internal/faults.Parse)")
+		quick    = flag.Bool("quick", false, "shrink -exp lifecycle to a smoke-sized run (CI)")
 	)
 	flag.Parse()
 	bench.Parallel = *parallel
@@ -135,6 +137,21 @@ func main() {
 			}
 			fmt.Print(bench.FormatChurn(res))
 			payload = res
+		case "lifecycle":
+			res, err := bench.Lifecycle(*seed, *quick)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(bench.FormatLifecycle(res))
+			if res.AccountingErr != "" {
+				log.Fatal("per-query accounting invariant violated")
+			}
+			for _, s := range res.Samples {
+				if !s.Restored {
+					log.Fatalf("lifecycle contract violated: %s did not restore the dataflow shape", s.Detector)
+				}
+			}
+			payload = res
 		case "scenario":
 			if *scenario == "" {
 				log.Fatal("-exp scenario needs -scenario <file>")
@@ -167,7 +184,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"logging", "fig4", "fig5", "fig6", "fig7", "ablation", "churn"} {
+		for _, name := range []string{"logging", "fig4", "fig5", "fig6", "fig7", "ablation", "churn", "lifecycle"} {
 			run(name)
 		}
 		return

@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"p2go/internal/engine"
+	"p2go/internal/metrics"
+	"p2go/internal/monitor"
+	"p2go/internal/tuple"
+)
+
+// LifecycleSample is one detector's full install → measure → uninstall
+// cycle: its marginal cost while deployed on every ring member, the
+// engine's own per-query bill for it on the measured node, and whether
+// retiring it returned the node to baseline.
+type LifecycleSample struct {
+	// Detector is the §3.1 detector name; QueryID the engine query it
+	// deploys as; Nodes how many ring members it was installed on (the
+	// Figure 6 prober deploys on the measured node only, like the
+	// paper; the rest on all 21).
+	Detector string
+	QueryID  string
+	Nodes    int
+	// MarginalCPU is the measured node's CPU increase over baseline
+	// while the detector ran (percentage points).
+	MarginalCPU float64
+	// QueryCPU is the detector's own metered bill on the measured node
+	// over the same window (per-query BusySeconds as CPU %) — the
+	// attribution the lifecycle subsystem maintains, measured
+	// independently of the before/after subtraction.
+	QueryCPU float64
+	// MarginalMemMB is the modeled process-size increase while
+	// deployed.
+	MarginalMemMB float64
+	// RuleFires / TimerFires are the detector's metered activations on
+	// the measured node during the window.
+	RuleFires  int64
+	TimerFires int64
+	// PostCPU is the measured node's CPU in a window after the
+	// uninstall settled; it must be back within noise of baseline.
+	PostCPU float64
+	// Restored reports the structural check: strand, timer, watch and
+	// log-tap counts and the table-name set exactly match the
+	// pre-install shape.
+	Restored bool
+}
+
+// LifecycleResult is the -exp lifecycle table.
+type LifecycleResult struct {
+	// BaselineCPU / BaselineMemMB are the converged chord-only ring's
+	// steady state at the measured node.
+	BaselineCPU   float64
+	BaselineMemMB float64
+	Samples       []LifecycleSample
+	// AccountingErr records a violated per-query accounting invariant
+	// on the measured node at the end of the run ("" = sums check out).
+	AccountingErr string
+}
+
+// CPUNoise is the tolerance for "cost returned to baseline": the
+// post-uninstall window may differ from the baseline window by this
+// fraction of baseline plus an absolute floor (the ring's own load
+// wanders a little between windows).
+const (
+	cpuNoiseFrac  = 0.15
+	cpuNoiseFloor = 0.02 // percentage points
+)
+
+// CPURestored reports whether a sample's post-uninstall CPU is within
+// noise of the run's baseline.
+func (r LifecycleResult) CPURestored(s LifecycleSample) bool {
+	return math.Abs(s.PostCPU-r.BaselineCPU) <= cpuNoiseFrac*r.BaselineCPU+cpuNoiseFloor
+}
+
+// nodeShape fingerprints a node's static dataflow structure — everything
+// install must add and uninstall must remove.
+func nodeShape(n *engine.Node) string {
+	names := n.Store().Names()
+	sort.Strings(names)
+	return fmt.Sprintf("strands=%d timers=%d watches=%d taps=%d tables=%s",
+		n.NumStrands(), n.NumTimers(), n.NumWatches(), n.NumLogTaps(),
+		strings.Join(names, ","))
+}
+
+// CheckQueryAccounting verifies the attribution invariant on a node:
+// per-query bills and counters (including the reserved system bucket)
+// sum to the node totals. BusySeconds tolerates float re-association
+// only.
+func CheckQueryAccounting(n *engine.Node) error {
+	m := n.Metrics()
+	var busy float64
+	var fires, heads, timers int64
+	for _, q := range n.QueryMetrics() {
+		busy += q.BusySeconds
+		fires += q.RuleFires
+		heads += q.HeadsEmitted
+		timers += q.TimerFires
+	}
+	if fires != m.RuleFires || heads != m.HeadsEmitted || timers != m.TimerFires {
+		return fmt.Errorf("per-query counters (fires=%d heads=%d timers=%d) != node totals (%d, %d, %d)",
+			fires, heads, timers, m.RuleFires, m.HeadsEmitted, m.TimerFires)
+	}
+	if diff := math.Abs(busy - m.BusySeconds); diff > 1e-9*(1+math.Abs(m.BusySeconds)) {
+		return fmt.Errorf("per-query BusySeconds sum %g != node %g", busy, m.BusySeconds)
+	}
+	return nil
+}
+
+// Lifecycle runs the query-lifecycle experiment: on a converged 21-node
+// ring, each §3.1 detector is deployed on every member as a managed
+// query, its marginal CPU/memory and its own metered bill are measured
+// at the measured node, and it is then undeployed — verifying that the
+// node's dataflow shape and steady-state CPU return to baseline. quick
+// shrinks the windows and the detector suite for smoke use.
+func Lifecycle(seed int64, quick bool) (LifecycleResult, error) {
+	warm, win, settle := float64(WarmTime), float64(WindowTime), 60.0
+	// Figure 6's mid rate for the prober; it deploys on the measured
+	// node only (Detector.SingleNode) like the paper's experiment.
+	dets := monitor.Detectors(5, 4)
+	if quick {
+		warm, win, settle = 30, 30, 30
+		dets = dets[:2]
+	}
+	r, err := buildRing(seed, nil)
+	if err != nil {
+		return LifecycleResult{}, err
+	}
+	n := r.Node(Measured)
+
+	window := func() metrics.Node {
+		before := n.Metrics()
+		r.Run(win)
+		return n.Metrics().Sub(before)
+	}
+	r.Run(warm)
+	base := window()
+	res := LifecycleResult{
+		BaselineCPU:   metrics.CPUPercent(base.BusySeconds, win),
+		BaselineMemMB: processMB(n),
+	}
+	shape0 := nodeShape(n)
+
+	for _, d := range dets {
+		targets := r.Addrs
+		if d.SingleNode {
+			targets = []string{Measured}
+		}
+		for _, a := range targets {
+			if _, err := monitor.Deploy(r.Node(a), d); err != nil {
+				return res, err
+			}
+		}
+		if d.Name == "ordering-traversal" {
+			// §3.1.2 traversals are operator-initiated (the rules only
+			// pass the token): kick one full-ring walk from the
+			// measured node every 30 s of the deployment, as
+			// examples/chordmon does by hand.
+			start := r.Sim.Now()
+			for k := 0; 30*float64(k) < warm+win; k++ {
+				ev := tuple.New("orderingEvent", tuple.Str(Measured), tuple.ID(uint64(1000+k)))
+				if err := r.Net.InjectAt(start+30*float64(k), Measured, ev); err != nil {
+					return res, err
+				}
+			}
+		}
+		r.Run(warm)
+		mBefore, qBefore := n.Metrics(), n.QueryMetrics()[d.QueryID()]
+		r.Run(win)
+		md := n.Metrics().Sub(mBefore)
+		qd := n.QueryMetrics()[d.QueryID()].Sub(qBefore)
+		memWith := processMB(n)
+
+		for _, a := range targets {
+			if err := monitor.Undeploy(r.Node(a), d); err != nil {
+				return res, err
+			}
+		}
+		r.Run(settle)
+		post := window()
+
+		res.Samples = append(res.Samples, LifecycleSample{
+			Detector:      d.Name,
+			QueryID:       d.QueryID(),
+			Nodes:         len(targets),
+			MarginalCPU:   metrics.CPUPercent(md.BusySeconds, win) - res.BaselineCPU,
+			QueryCPU:      metrics.CPUPercent(qd.BusySeconds, win),
+			MarginalMemMB: memWith - res.BaselineMemMB,
+			RuleFires:     qd.RuleFires,
+			TimerFires:    qd.TimerFires,
+			PostCPU:       metrics.CPUPercent(post.BusySeconds, win),
+			Restored:      nodeShape(n) == shape0,
+		})
+	}
+	if err := CheckQueryAccounting(n); err != nil {
+		res.AccountingErr = err.Error()
+	}
+	if len(r.Errors) > 0 {
+		return res, fmt.Errorf("bench: lifecycle run raised rule errors: %s", r.Errors[0])
+	}
+	return res, nil
+}
+
+// FormatLifecycle renders the lifecycle table.
+func FormatLifecycle(res LifecycleResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Lifecycle: §3.1 detectors installed on a converged %d-node ring, measured at %s, then uninstalled\n",
+		Nodes, Measured)
+	fmt.Fprintf(&b, "  baseline: cpu=%6.3f%%  mem=%6.2fMB\n", res.BaselineCPU, res.BaselineMemMB)
+	fmt.Fprintf(&b, "  %-20s %5s %12s %12s %12s %10s %9s %9s\n",
+		"detector", "nodes", "marginal-cpu", "query-bill", "marginal-mem", "post-cpu", "restored", "cpu-back")
+	for _, s := range res.Samples {
+		fmt.Fprintf(&b, "  %-20s %5d %+11.3f%% %11.3f%% %+10.2fMB %9.3f%% %9v %9v\n",
+			s.Detector, s.Nodes, s.MarginalCPU, s.QueryCPU, s.MarginalMemMB, s.PostCPU,
+			s.Restored, res.CPURestored(s))
+	}
+	if res.AccountingErr != "" {
+		fmt.Fprintf(&b, "  ACCOUNTING VIOLATION: %s\n", res.AccountingErr)
+	} else {
+		fmt.Fprintf(&b, "  per-query accounting: bills sum to node totals on %s\n", Measured)
+	}
+	return b.String()
+}

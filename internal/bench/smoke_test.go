@@ -23,3 +23,41 @@ func TestLoggingOverheadSmoke(t *testing.T) {
 		t.Errorf("tracing must add live trace tuples: off=%v on=%v", off, on)
 	}
 }
+
+// TestLifecycleSmoke runs the quick lifecycle experiment: two §3.1
+// detectors deployed on every ring member, measured, and retired. The
+// structural restore and the accounting invariant are hard assertions;
+// CPU-back-to-baseline uses the experiment's own noise band.
+func TestLifecycleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("21-node ring with install/uninstall cycles")
+	}
+	res, err := Lifecycle(42, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaselineCPU <= 0 {
+		t.Fatalf("baseline CPU = %v", res.BaselineCPU)
+	}
+	if res.AccountingErr != "" {
+		t.Errorf("accounting invariant violated: %s", res.AccountingErr)
+	}
+	for _, s := range res.Samples {
+		// The before/after subtraction (MarginalCPU) can drown in ring
+		// noise for cheap detectors; the engine's own per-query bill is
+		// the precise signal and must always show the cost.
+		if s.QueryCPU <= 0 {
+			t.Errorf("%s: deployed detector billed nothing: %+v", s.Detector, s)
+		}
+		if s.RuleFires == 0 {
+			t.Errorf("%s: no metered rule fires", s.Detector)
+		}
+		if !s.Restored {
+			t.Errorf("%s: uninstall did not restore the dataflow shape", s.Detector)
+		}
+		if !res.CPURestored(s) {
+			t.Errorf("%s: post-uninstall CPU %.3f%% not within noise of baseline %.3f%%",
+				s.Detector, s.PostCPU, res.BaselineCPU)
+		}
+	}
+}

@@ -228,8 +228,12 @@ func InstallBuggy(n *engine.Node, landmark string) error {
 	return installProgram(n, BuggyProgram(), landmark)
 }
 
+// QueryID is the query name the Chord overlay program is installed
+// under on every node (the substrate monitoring queries deploy against).
+const QueryID = "chord"
+
 func installProgram(n *engine.Node, prog *overlog.Program, landmark string) error {
-	if err := n.InstallProgram(prog); err != nil {
+	if _, err := n.InstallQuery(QueryID, prog); err != nil {
 		return fmt.Errorf("chord: %w", err)
 	}
 	addr := n.Addr()

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math"
 
+	"p2go/internal/engine"
 	"p2go/internal/faults"
 	"p2go/internal/metrics"
 	"p2go/internal/overlog"
+	"p2go/internal/tuple"
 )
 
 // ChurnConfig describes a churn experiment: a converged ring, a crash
@@ -38,11 +40,19 @@ type ChurnConfig struct {
 	Parallel bool
 	Workers  int
 	// Detectors are monitoring programs installed on every node
-	// (typically monitor.RingProbeProgram and monitor.OscillationProgram).
+	// (typically monitor.RingProbeProgram and monitor.OscillationProgram);
+	// the harness installs them as queries "extra1", "extra2", ...
 	Detectors []*overlog.Program
 	// AlarmNames are the watched predicates counted as detector alarms
 	// (e.g. inconsistentPred, inconsistentSucc, oscill).
 	AlarmNames []string
+	// Uninstall lists query IDs to remove mid-run from every node via
+	// the higher-order uninstallProgram event, scheduled UninstallAt
+	// seconds after convergence (uninstall-under-fire). An event landing
+	// on a crashed node is lost, like any delivery to a dead process —
+	// pick an UninstallAt when the targets are up (0 = at convergence).
+	Uninstall   []string
+	UninstallAt float64
 }
 
 func (c ChurnConfig) withDefaults() ChurnConfig {
@@ -155,6 +165,21 @@ func RunChurn(cfg ChurnConfig) (*Ring, ChurnResult, error) {
 	inj, err := faults.Arm(r.Net, sc)
 	if err != nil {
 		return nil, ChurnResult{}, err
+	}
+
+	// Uninstall-under-fire: retire queries on every node mid-scenario
+	// through the higher-order event, pre-scheduled so both simnet
+	// drivers observe the identical sequence.
+	if len(cfg.Uninstall) > 0 {
+		at := cfg.UninstallAt
+		for _, a := range r.Addrs {
+			for _, qid := range cfg.Uninstall {
+				ev := tuple.New(engine.UninstallEventName, tuple.Str(a), tuple.Str(qid))
+				if err := r.Net.InjectAt(base+at, a, ev); err != nil {
+					return nil, ChurnResult{}, err
+				}
+			}
+		}
 	}
 
 	res := ChurnResult{

@@ -36,9 +36,14 @@ type RingConfig struct {
 	// OnWatch receives watched tuples (in addition to Ring.Watched).
 	OnWatch func(now float64, node string, t tuple.Tuple)
 	// ExtraPrograms are installed on every node after Chord (monitoring
-	// queries, §3-style add-ons).
+	// queries, §3-style add-ons), as managed queries named "extra1",
+	// "extra2", ... in slice order — uninstallable by that ID.
 	ExtraPrograms []*overlog.Program
 }
+
+// ExtraQueryID returns the query ID the harness installs the i-th
+// (0-based) entry of RingConfig.ExtraPrograms under.
+func ExtraQueryID(i int) string { return fmt.Sprintf("extra%d", i+1) }
 
 // Ring is a simulated Chord network: the harness tests, the monitoring
 // examples and the §4 benchmarks all run against it.
@@ -104,8 +109,8 @@ func NewRing(cfg RingConfig) (*Ring, error) {
 		if err := install(n, landmark); err != nil {
 			return nil, err
 		}
-		for _, p := range cfg.ExtraPrograms {
-			if err := n.InstallProgram(p); err != nil {
+		for i, p := range cfg.ExtraPrograms {
+			if _, err := n.InstallQuery(ExtraQueryID(i), p); err != nil {
 				return nil, err
 			}
 		}
@@ -128,8 +133,8 @@ func (r *Ring) AddLateNode(addr string, extra ...*overlog.Program) (*engine.Node
 	if err := Install(n, "n1"); err != nil {
 		return nil, err
 	}
-	for _, p := range extra {
-		if err := n.InstallProgram(p); err != nil {
+	for i, p := range extra {
+		if _, err := n.InstallQuery(ExtraQueryID(i), p); err != nil {
 			return nil, err
 		}
 	}

@@ -139,6 +139,11 @@ type AggSpec struct {
 
 // Strand is one compiled rule strand.
 type Strand struct {
+	// QueryID names the installed query (program) this strand belongs
+	// to. Every resource a query creates — strands, timers, taps — is
+	// tagged with its QueryID so the engine can uninstall the query as a
+	// unit and attribute CPU per query.
+	QueryID string
 	// RuleID is the rule label (possibly planner-generated).
 	RuleID string
 	// Source is the original rule text, exposed through the ruleTable

@@ -122,7 +122,7 @@ func TestIntrospectionQuery(t *testing.T) {
 materialize(tab, infinity, infinity, keys(1,2)).
 watch(ruleCount).
 r1 tab@N(X) :- ev@N(X).
-q1 ruleCount@N(count<*>) :- qev@N(E), ruleTable@N(R, Trig, Src).
+q1 ruleCount@N(count<*>) :- qev@N(E), ruleTable@N(Q, R, Trig, Src).
 `, "n1")
 	h.inject("n1", tuple.New("qev", tuple.Str("n1"), tuple.ID(1)))
 	h.net.RunFor(1)

@@ -7,6 +7,15 @@
 // and sweeps, each of which runs one "task" — the full cascade of rule
 // activations triggered by that stimulus — and returns the simulated CPU
 // cost, which the driver uses to model the node as a single-server queue.
+//
+// Programs are installed as first-class queries: every strand, timer,
+// watch and table declaration carries the ID of the query that created
+// it, installation is atomic (a program that fails to validate installs
+// nothing), shared resources are reference-counted across queries, and
+// UninstallQuery tears down exactly one query's slice of the dataflow
+// graph, returning the node to its prior shape. CPU is billed per query,
+// with costs not attributable to any query (the network pre/postamble,
+// sweeps, restarts) under the reserved "system" query.
 package engine
 
 import (
@@ -23,18 +32,31 @@ import (
 	"p2go/internal/tuple"
 )
 
-// Reflection table names: the node's own rules and table declarations are
-// queryable from OverLog (§2.1 "introspection").
+// Reflection table names: the node's own rules, table declarations and
+// installed queries are queryable from OverLog (§2.1 "introspection").
 const (
 	RuleTableName  = "ruleTable"
 	TableTableName = "tableTable"
+	QueryTableName = "queryTable"
 )
 
 // InstallEventName is the higher-order installation event (§1.3: "the
 // system can be programmed to react to events by installing new triggers
 // itself"). A rule head installProgram@N(Source) causes the OverLog text
-// in Source to be parsed and installed on node N, on-line.
+// in Source to be parsed and installed on node N, on-line, as a fresh
+// query with a generated ID; installProgram@N(Source, QueryID) installs
+// it under the given name.
 const InstallEventName = "installProgram"
+
+// UninstallEventName is the higher-order removal event: a rule head
+// uninstallProgram@N(QueryID) removes the named query from node N —
+// autonomic retirement of monitoring queries, the inverse of
+// installProgram.
+const UninstallEventName = "uninstallProgram"
+
+// SystemQuery is the reserved query ID absorbing costs not attributable
+// to any installed query (re-exported from metrics for callers).
+const SystemQuery = metrics.SystemQuery
 
 // maxCascade bounds the rule-activation cascade per task, guarding
 // against non-terminating recursive programs.
@@ -58,16 +80,23 @@ type SendFunc func(dst string, env Envelope, at float64)
 // Periodic is a registered periodic trigger; the driver owns scheduling.
 type Periodic struct {
 	// Strand is the rule strand the timer fires.
-	Strand *dataflow.Strand
-	node   *Node
-	fired  int
+	Strand    *dataflow.Strand
+	node      *Node
+	fired     int
+	cancelled bool // set when the owning query is uninstalled
 }
 
 // Period returns the firing interval in seconds.
 func (p *Periodic) Period() float64 { return p.Strand.Trigger.Period }
 
-// Done reports whether a bounded periodic has exhausted its firings.
+// Done reports whether the periodic stopped firing: a bounded periodic
+// that exhausted its firings, or one whose query was uninstalled. Driver
+// timer chains consult Done before rescheduling, so cancellation kills
+// the chain at its next firing.
 func (p *Periodic) Done() bool {
+	if p.cancelled {
+		return true
+	}
 	c := p.Strand.Trigger.Count
 	return c > 0 && p.fired >= c
 }
@@ -99,6 +128,22 @@ type queued struct {
 	srcID    uint64
 }
 
+// query is one installed program: the engine's unit of uninstallation
+// and per-query cost attribution.
+type query struct {
+	id      string
+	source  string // original OverLog text (queryTable reflection)
+	strands []*dataflow.Strand
+	// periodics are this query's registered timers (cancelled on
+	// uninstall so driver timer chains die).
+	periodics []*Periodic
+	// watches and tables list the watch names and declared table names
+	// whose refcounts this query holds (one entry per refcount).
+	watches     []string
+	tables      []string
+	installedAt float64
+}
+
 // Node is one P2 node. Not safe for concurrent use: the driver serializes
 // Handle* calls on each node. Distinct nodes share no mutable state (each
 // owns its store, RNG, tracer, counters, and scratch buffers; Send and
@@ -113,13 +158,32 @@ type Node struct {
 	deltaStrands map[string][]*dataflow.Strand
 	periodics    []*Periodic
 
-	watched map[string]bool
-	tracer  *trace.Tracer
-	met     metrics.Node
+	// queries indexes installed queries by ID; queryOrder preserves
+	// installation order (deterministic iteration).
+	queries    map[string]*query
+	queryOrder []string
+	// tableRefs counts, per declared table, how many installed queries
+	// materialized it; a table is dropped when its count hits zero.
+	tableRefs map[string]int
+	// watchRefs counts watch declarations per predicate name.
+	watchRefs map[string]int
+	// logSubs tracks which tables have a tracer event-log tap.
+	logSubs map[string]bool
+
+	tracer *trace.Tracer
+	met    metrics.Node
+	// perQuery splits the node counters by query ID; curStats points at
+	// the bucket bills currently land in (the running strand's query, or
+	// system between strands).
+	perQuery map[string]*metrics.Query
+	curStats *metrics.Query
+	sysStats *metrics.Query
 
 	nextTupleID  uint64
 	labelCounter int
+	queryCounter int
 	micro        float64 // cost accumulated within the current task
+	inTask       bool    // a Handle* task is on the stack
 	queue        []queued
 	scratch      []byte // reusable marshal buffer for the send postamble
 	// preamble holds the seed tuples injected via SeedLocal, in order;
@@ -129,6 +193,7 @@ type Node struct {
 
 	ruleTable  *table.Table
 	tableTable *table.Table
+	queryTable *table.Table
 }
 
 // NewNode creates a node.
@@ -142,18 +207,40 @@ func NewNode(cfg Config) *Node {
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
 		eventStrands: make(map[string][]*dataflow.Strand),
 		deltaStrands: make(map[string][]*dataflow.Strand),
-		watched:      make(map[string]bool),
+		queries:      make(map[string]*query),
+		tableRefs:    make(map[string]int),
+		watchRefs:    make(map[string]int),
+		logSubs:      make(map[string]bool),
+		perQuery:     make(map[string]*metrics.Query),
 	}
+	n.sysStats = n.queryStats(SystemQuery)
+	n.curStats = n.sysStats
 	// Reflection tables (introspection model, §2.1).
 	n.ruleTable, _ = n.store.Materialize(table.Spec{
 		Name: RuleTableName, Lifetime: table.Infinity, MaxSize: table.Infinity,
-		Keys: []int{2, 3},
+		Keys: []int{2, 3, 4},
 	})
 	n.tableTable, _ = n.store.Materialize(table.Spec{
 		Name: TableTableName, Lifetime: table.Infinity, MaxSize: table.Infinity,
 		Keys: []int{2},
 	})
+	n.queryTable, _ = n.store.Materialize(table.Spec{
+		Name: QueryTableName, Lifetime: table.Infinity, MaxSize: table.Infinity,
+		Keys: []int{2},
+	})
 	return n
+}
+
+// isSystemTable reports whether name is one of the engine- or
+// tracer-owned reflection tables, which queries may re-declare but never
+// own: they are exempt from refcounting and are never dropped.
+func isSystemTable(name string) bool {
+	switch name {
+	case RuleTableName, TableTableName, QueryTableName,
+		trace.RuleExecTable, trace.TupleTable, trace.TupleLogTable:
+		return true
+	}
+	return false
 }
 
 // Addr returns the node's address.
@@ -166,11 +253,34 @@ func (n *Node) Store() *table.Store { return n.store }
 // Metrics returns a snapshot of the node's counters.
 func (n *Node) Metrics() metrics.Node { return n.met.Snapshot() }
 
+// QueryMetrics returns a snapshot of the per-query counters, keyed by
+// query ID. The reserved "system" bucket holds unattributable costs;
+// buckets of uninstalled queries persist (the bill survives the query),
+// so the per-query values always sum to the node totals.
+func (n *Node) QueryMetrics() map[string]metrics.Query {
+	out := make(map[string]metrics.Query, len(n.perQuery))
+	for id, q := range n.perQuery {
+		out[id] = q.Snapshot()
+	}
+	return out
+}
+
 // Tracer returns the execution tracer, or nil when tracing is off.
 func (n *Node) Tracer() *trace.Tracer { return n.tracer }
 
 // Periodics returns all registered periodic triggers.
 func (n *Node) Periodics() []*Periodic { return n.periodics }
+
+// Queries returns the installed query IDs in installation order.
+func (n *Node) Queries() []string {
+	return append([]string(nil), n.queryOrder...)
+}
+
+// HasQuery reports whether a query with the given ID is installed.
+func (n *Node) HasQuery(id string) bool {
+	_, ok := n.queries[id]
+	return ok
+}
 
 // EnableTracing turns on execution logging: every strand's taps feed the
 // tracer, and ruleExec/tupleTable appear in the store.
@@ -194,9 +304,10 @@ func (n *Node) EnableTracing(cfg trace.Config) error {
 // subscribeLog wires a table's change stream into the tracer's tupleLog.
 func (n *Node) subscribeLog(name string) {
 	tb := n.store.Get(name)
-	if tb == nil || n.tracer == nil {
+	if tb == nil || n.tracer == nil || n.logSubs[name] {
 		return
 	}
+	n.logSubs[name] = true
 	n.tracer.LogEvent("watchTable", name, 0, n.Now()) // marks coverage start
 	tb.Subscribe(func(op table.Op, t tuple.Tuple) {
 		kind := "insert"
@@ -207,46 +318,230 @@ func (n *Node) subscribeLog(name string) {
 	})
 }
 
-// InstallProgram materializes the program's tables, registers watches,
-// and plans and installs its rules. Programs may be installed at any
-// point in the node's life (§1.3: monitoring queries are deployed
-// piecemeal on-line).
-func (n *Node) InstallProgram(prog *overlog.Program) error {
-	for _, m := range prog.Materializations() {
-		existed := n.store.Get(m.Name) != nil
-		tb, err := n.store.Materialize(table.Spec{
-			Name: m.Name, Lifetime: m.Lifetime, MaxSize: m.MaxSize, Keys: m.Keys,
-		})
-		if err != nil {
-			return fmt.Errorf("engine: %w", err)
-		}
-		_ = tb
-		if !existed && n.tracer != nil {
-			n.subscribeLog(m.Name)
-		}
-		row := tuple.New(TableTableName,
-			tuple.Str(n.cfg.Addr), tuple.Str(m.Name),
-			tuple.Float(m.Lifetime), tuple.Int(int64(m.MaxSize)))
-		if _, err := n.tableTable.Insert(row, n.cfg.Clock()); err != nil {
-			return err
+// NumLogTaps returns how many tables feed the tracer's event log (the
+// tracer tap count; uninstalling a query that owned a table removes its
+// tap with the table).
+func (n *Node) NumLogTaps() int { return len(n.logSubs) }
+
+// NumWatches returns the number of distinct watched predicates.
+func (n *Node) NumWatches() int { return len(n.watchRefs) }
+
+// NumTimers returns the number of live periodic triggers (registered,
+// not exhausted, not cancelled).
+func (n *Node) NumTimers() int {
+	c := 0
+	for _, p := range n.periodics {
+		if !p.Done() {
+			c++
 		}
 	}
-	env := planner.EnvFunc(func(name string) bool { return n.store.Get(name) != nil })
+	return c
+}
+
+// InstallProgram installs the program as a fresh query with a generated
+// ID. Programs may be installed at any point in the node's life (§1.3:
+// monitoring queries are deployed piecemeal on-line).
+func (n *Node) InstallProgram(prog *overlog.Program) error {
+	_, err := n.InstallQuery("", prog)
+	return err
+}
+
+// InstallQuery atomically installs prog as a managed query under the
+// given ID (empty = generate one) and returns the ID. The whole program
+// is validated first — table declarations checked for spec conflicts
+// against the store and each other, every rule planned against the union
+// of existing and declared tables — and only then committed, so an
+// invalid program installs nothing: no strand, table, watch or timer.
+func (n *Node) InstallQuery(id string, prog *overlog.Program) (string, error) {
+	// ---- Phase 1: validate; no node state is touched on any error. ----
+	if id == SystemQuery {
+		return "", fmt.Errorf("engine: query ID %q is reserved", SystemQuery)
+	}
+	if id == "" {
+		id = n.genQueryID()
+	} else if _, dup := n.queries[id]; dup {
+		return "", fmt.Errorf("engine: query %q already installed", id)
+	}
+	declared := make(map[string]table.Spec)
+	var declOrder []string
+	for _, m := range prog.Materializations() {
+		spec := table.Spec{Name: m.Name, Lifetime: m.Lifetime, MaxSize: m.MaxSize, Keys: m.Keys}
+		if prev, ok := declared[m.Name]; ok {
+			// Duplicate declaration inside one program: identical is a
+			// no-op, conflicting rejects the whole program.
+			if err := prev.Conflicts(spec); err != nil {
+				return "", fmt.Errorf("engine: %w", err)
+			}
+			continue
+		}
+		if err := n.store.Check(spec); err != nil {
+			return "", fmt.Errorf("engine: %w", err)
+		}
+		declared[m.Name] = spec
+		declOrder = append(declOrder, m.Name)
+	}
+	env := planner.EnvFunc(func(name string) bool {
+		if _, ok := declared[name]; ok {
+			return true
+		}
+		return n.store.Get(name) != nil
+	})
+	var strands []*dataflow.Strand
+	var watches []string
 	for _, st := range prog.Statements {
 		switch s := st.(type) {
 		case *overlog.Watch:
-			n.watched[s.Name] = true
+			watches = append(watches, s.Name)
 		case *overlog.Rule:
-			strands, err := planner.PlanRule(s, env, n.genLabel)
+			ss, err := planner.PlanRule(id, s, env, n.genLabel)
 			if err != nil {
-				return err
+				return "", err
 			}
-			for _, str := range strands {
-				n.installStrand(str)
-			}
+			strands = append(strands, ss...)
 		}
 	}
+
+	// ---- Phase 2: commit; nothing below can fail. ----
+	q := &query{
+		id:          id,
+		source:      prog.Source,
+		strands:     strands,
+		installedAt: n.cfg.Clock(),
+	}
+	for _, name := range declOrder {
+		spec := declared[name]
+		existed := n.store.Get(name) != nil
+		n.store.Materialize(spec) //nolint:errcheck // validated in phase 1
+		if !existed {
+			n.subscribeLog(name)
+		}
+		if !isSystemTable(name) {
+			n.tableRefs[name]++
+			q.tables = append(q.tables, name)
+		}
+		n.reflect(tuple.New(TableTableName,
+			tuple.Str(n.cfg.Addr), tuple.Str(name),
+			tuple.Float(spec.Lifetime), tuple.Int(int64(spec.MaxSize))), false)
+	}
+	for _, w := range watches {
+		n.watchRefs[w]++
+		q.watches = append(q.watches, w)
+	}
+	for _, s := range strands {
+		n.installStrand(s, q)
+	}
+	n.queries[id] = q
+	n.queryOrder = append(n.queryOrder, id)
+	n.reflect(tuple.New(QueryTableName,
+		tuple.Str(n.cfg.Addr), tuple.Str(id),
+		tuple.Int(int64(len(q.strands))), tuple.Int(int64(len(q.tables))),
+		tuple.Float(q.installedAt)), false)
+	if !n.inTask {
+		n.runReflectTask()
+	}
+	return id, nil
+}
+
+// UninstallQuery removes the named query: its strands leave the event
+// and delta dispatch maps, its timers are cancelled (driver chains die
+// at the next firing), its watch and table refcounts drop — tables whose
+// count reaches zero are dropped from the store together with their
+// listeners and tracer tap — and its reflection rows are deleted. The
+// node returns to the dataflow shape it had before the install; only the
+// query's accumulated bill in QueryMetrics survives.
+func (n *Node) UninstallQuery(id string) error {
+	if id == SystemQuery {
+		return fmt.Errorf("engine: cannot uninstall reserved query %q", SystemQuery)
+	}
+	q, ok := n.queries[id]
+	if !ok {
+		return fmt.Errorf("engine: query %q is not installed", id)
+	}
+	for _, s := range q.strands {
+		switch s.Trigger.Kind {
+		case dataflow.TriggerEvent:
+			n.eventStrands[s.Trigger.Name] = removeStrand(n.eventStrands[s.Trigger.Name], s)
+			if len(n.eventStrands[s.Trigger.Name]) == 0 {
+				delete(n.eventStrands, s.Trigger.Name)
+			}
+		case dataflow.TriggerDelta:
+			n.deltaStrands[s.Trigger.Name] = removeStrand(n.deltaStrands[s.Trigger.Name], s)
+			if len(n.deltaStrands[s.Trigger.Name]) == 0 {
+				delete(n.deltaStrands, s.Trigger.Name)
+			}
+		}
+		if n.tracer != nil {
+			n.tracer.ForgetStrand(s)
+		}
+	}
+	if len(q.periodics) > 0 {
+		for _, p := range q.periodics {
+			p.cancelled = true
+		}
+		live := n.periodics[:0]
+		for _, p := range n.periodics {
+			if !p.cancelled {
+				live = append(live, p)
+			}
+		}
+		n.periodics = live
+	}
+	for _, w := range q.watches {
+		if n.watchRefs[w]--; n.watchRefs[w] <= 0 {
+			delete(n.watchRefs, w)
+		}
+	}
+	// Delete the query's ruleTable rows in one pattern delete (nil
+	// fields are wildcards), then its queryTable row.
+	n.reflect(tuple.New(RuleTableName,
+		tuple.Str(n.cfg.Addr), tuple.Str(id),
+		tuple.Nil, tuple.Nil, tuple.Nil), true)
+	n.reflect(tuple.New(QueryTableName,
+		tuple.Str(n.cfg.Addr), tuple.Str(id),
+		tuple.Nil, tuple.Nil, tuple.Nil), true)
+	for _, name := range q.tables {
+		if n.tableRefs[name]--; n.tableRefs[name] > 0 {
+			continue
+		}
+		delete(n.tableRefs, name)
+		n.reflect(tuple.New(TableTableName,
+			tuple.Str(n.cfg.Addr), tuple.Str(name),
+			tuple.Nil, tuple.Nil), true)
+		// The table vanishes with its rows, listeners, and tracer tap:
+		// a removed query's soft state emits no delete events.
+		delete(n.logSubs, name)
+		n.store.Drop(name)
+	}
+	delete(n.queries, id)
+	for i, qid := range n.queryOrder {
+		if qid == id {
+			n.queryOrder = append(n.queryOrder[:i:i], n.queryOrder[i+1:]...)
+			break
+		}
+	}
+	if !n.inTask {
+		n.runReflectTask()
+	}
 	return nil
+}
+
+func removeStrand(ss []*dataflow.Strand, s *dataflow.Strand) []*dataflow.Strand {
+	for i, x := range ss {
+		if x == s {
+			return append(ss[:i:i], ss[i+1:]...)
+		}
+	}
+	return ss
+}
+
+func (n *Node) genQueryID() string {
+	for {
+		n.queryCounter++
+		id := fmt.Sprintf("q%d", n.queryCounter)
+		if _, taken := n.queries[id]; !taken {
+			return id
+		}
+	}
 }
 
 func (n *Node) genLabel() string {
@@ -254,7 +549,7 @@ func (n *Node) genLabel() string {
 	return fmt.Sprintf("rule_%d", n.labelCounter)
 }
 
-func (n *Node) installStrand(s *dataflow.Strand) {
+func (n *Node) installStrand(s *dataflow.Strand, q *query) {
 	switch s.Trigger.Kind {
 	case dataflow.TriggerEvent:
 		n.eventStrands[s.Trigger.Name] = append(n.eventStrands[s.Trigger.Name], s)
@@ -263,14 +558,37 @@ func (n *Node) installStrand(s *dataflow.Strand) {
 	case dataflow.TriggerPeriodic:
 		p := &Periodic{Strand: s, node: n}
 		n.periodics = append(n.periodics, p)
+		q.periodics = append(q.periodics, p)
 		if n.cfg.OnNewPeriodic != nil {
 			n.cfg.OnNewPeriodic(p)
 		}
 	}
-	row := tuple.New(RuleTableName,
-		tuple.Str(n.cfg.Addr), tuple.Str(s.RuleID), tuple.Str(s.Trigger.Name),
-		tuple.Str(s.Source))
-	n.ruleTable.Insert(row, n.cfg.Clock()) //nolint:errcheck // name always matches
+	n.reflect(tuple.New(RuleTableName,
+		tuple.Str(n.cfg.Addr), tuple.Str(q.id), tuple.Str(s.RuleID),
+		tuple.Str(s.Trigger.Name), tuple.Str(s.Source)), false)
+}
+
+// reflect queues a reflection-table change to flow through the normal
+// dataflow path: the change fires delta strands watching the reflection
+// tables and is logged by the tracer like any other table event, keeping
+// introspection current across on-line installs and uninstalls.
+func (n *Node) reflect(row tuple.Tuple, isDelete bool) {
+	n.queue = append(n.queue, queued{t: row, isDelete: isDelete, src: n.cfg.Addr})
+}
+
+// runReflectTask drains reflection changes queued by an install or
+// uninstall invoked from driver context (outside any task), so the
+// reflection tables are current when the call returns. Installs from
+// inside a task (the higher-order events) are drained by the enclosing
+// cascade instead.
+func (n *Node) runReflectTask() {
+	n.inTask = true
+	n.micro = 0
+	n.drain()
+	if n.tracer != nil {
+		n.tracer.TaskDone()
+	}
+	n.inTask = false
 }
 
 // ---- Driver entry points. Each runs one task and returns its cost. ----
@@ -289,20 +607,26 @@ func (n *Node) HandleMessage(env Envelope) float64 {
 
 // HandleTimer fires a periodic trigger.
 func (n *Node) HandleTimer(p *Periodic) float64 {
+	if p.cancelled {
+		return 0 // query uninstalled while the firing was in flight
+	}
 	p.fired++
 	n.met.TimerFires++
+	qs := n.queryStats(p.Strand.QueryID)
+	qs.TimerFires++
 	trig := n.periodicTuple(p)
+	n.inTask = true
 	n.micro = 0
-	n.bill(dataflow.CostTimerFire)
+	n.billTo(qs, dataflow.CostTimerFire)
 	// Periodic events are synthesized locally: give them IDs and run
 	// the strand directly (they are not routable tuples).
 	n.assignID(&trig, n.cfg.Addr, 0)
-	n.met.RuleFires++
-	p.Strand.Run(n, trig)
+	n.runStrand(p.Strand, trig)
 	n.drain()
 	if n.tracer != nil {
 		n.tracer.TaskDone()
 	}
+	n.inTask = false
 	return n.micro
 }
 
@@ -339,14 +663,15 @@ func (n *Node) Preamble() []tuple.Tuple { return n.preamble }
 // all application tables are cleared (no delete events fire — the state
 // of a dead process simply vanishes) and the preamble is replayed, so
 // the node bootstraps afresh exactly as it did at install time.
-// Installed programs, rule strands, watches, the tracer, and the
+// Installed queries, rule strands, watches, the tracer, and the
 // reflection tables survive: they are the program, not its soft state.
 // Like every Handle* entry point it runs one task and returns its cost.
 func (n *Node) Rejoin() float64 {
+	n.inTask = true
 	n.micro = 0
 	n.queue = n.queue[:0] // work queued in the dead process is gone
 	for _, name := range n.store.Names() {
-		if name == RuleTableName || name == TableTableName {
+		if name == RuleTableName || name == TableTableName || name == QueryTableName {
 			continue
 		}
 		n.store.Get(name).Clear()
@@ -362,6 +687,7 @@ func (n *Node) Rejoin() float64 {
 	if n.tracer != nil {
 		n.tracer.TaskDone()
 	}
+	n.inTask = false
 	return n.micro
 }
 
@@ -376,6 +702,7 @@ func (n *Node) Sweep() float64 {
 
 // runTask drains the cascade triggered by the seed tuple.
 func (n *Node) runTask(seed queued, startCost float64) float64 {
+	n.inTask = true
 	n.micro = 0
 	n.bill(startCost)
 	n.queue = append(n.queue, seed)
@@ -383,6 +710,7 @@ func (n *Node) runTask(seed queued, startCost float64) float64 {
 	if n.tracer != nil {
 		n.tracer.TaskDone()
 	}
+	n.inTask = false
 	return n.micro
 }
 
@@ -416,7 +744,7 @@ func (n *Node) processOne(q queued) {
 	if t.ID == 0 {
 		n.assignID(&t, q.src, q.srcID)
 	}
-	if n.watched[t.Name] && n.cfg.OnWatch != nil {
+	if n.watchRefs[t.Name] > 0 && n.cfg.OnWatch != nil {
 		n.cfg.OnWatch(now, t)
 	}
 	if n.tracer != nil {
@@ -424,6 +752,10 @@ func (n *Node) processOne(q queued) {
 	}
 	if t.Name == InstallEventName {
 		n.handleInstallEvent(t)
+		return
+	}
+	if t.Name == UninstallEventName {
+		n.handleUninstallEvent(t)
 		return
 	}
 	if tbl := n.store.Get(t.Name); tbl != nil {
@@ -435,31 +767,61 @@ func (n *Node) processOne(q queued) {
 		}
 		if changed {
 			for _, s := range n.deltaStrands[t.Name] {
-				n.met.RuleFires++
-				s.Run(n, t)
+				n.runStrand(s, t)
 			}
 		}
 		return
 	}
 	for _, s := range n.eventStrands[t.Name] {
-		n.met.RuleFires++
-		s.Run(n, t)
+		n.runStrand(s, t)
 	}
 }
 
+// runStrand runs one strand activation with its query's bucket receiving
+// the bills (per-query attribution at strand granularity).
+func (n *Node) runStrand(s *dataflow.Strand, t tuple.Tuple) {
+	n.met.RuleFires++
+	prev := n.curStats
+	n.curStats = n.queryStats(s.QueryID)
+	n.curStats.RuleFires++
+	s.Run(n, t)
+	n.curStats = prev
+}
+
 // handleInstallEvent implements the higher-order installation event:
-// installProgram@N(Source) parses Source as OverLog and installs it.
+// installProgram@N(Source) parses Source as OverLog and installs it as a
+// fresh query; an optional second payload field names the query.
 func (n *Node) handleInstallEvent(t tuple.Tuple) {
 	if t.Arity() < 2 || t.Field(1).Kind() != tuple.KindStr {
 		n.ruleError("engine", fmt.Errorf("%s needs a program-text field", InstallEventName))
 		return
+	}
+	id := ""
+	if t.Arity() >= 3 {
+		if t.Field(2).Kind() != tuple.KindStr {
+			n.ruleError("engine", fmt.Errorf("%s: query ID must be a string", InstallEventName))
+			return
+		}
+		id = t.Field(2).AsStr()
 	}
 	prog, err := overlog.Parse(t.Field(1).AsStr())
 	if err != nil {
 		n.ruleError("engine", fmt.Errorf("%s: %w", InstallEventName, err))
 		return
 	}
-	if err := n.InstallProgram(prog); err != nil {
+	if _, err := n.InstallQuery(id, prog); err != nil {
+		n.ruleError("engine", err)
+	}
+}
+
+// handleUninstallEvent implements the higher-order removal event:
+// uninstallProgram@N(QueryID) uninstalls the named query.
+func (n *Node) handleUninstallEvent(t tuple.Tuple) {
+	if t.Arity() < 2 || t.Field(1).Kind() != tuple.KindStr {
+		n.ruleError("engine", fmt.Errorf("%s needs a query-ID field", UninstallEventName))
+		return
+	}
+	if err := n.UninstallQuery(t.Field(1).AsStr()); err != nil {
 		n.ruleError("engine", err)
 	}
 }
@@ -484,10 +846,32 @@ func (n *Node) assignID(t *tuple.Tuple, src string, srcID uint64) uint64 {
 	return id
 }
 
-func (n *Node) bill(sec float64) {
+func (n *Node) queryStats(id string) *metrics.Query {
+	if id == "" {
+		id = SystemQuery
+	}
+	q := n.perQuery[id]
+	if q == nil {
+		q = &metrics.Query{}
+		n.perQuery[id] = q
+	}
+	return q
+}
+
+// billTo charges sec seconds of simulated CPU to the node and to the
+// given per-query bucket; every bill lands in exactly one bucket, which
+// is what keeps per-query bills summing to the node totals.
+func (n *Node) billTo(qs *metrics.Query, sec float64) {
 	n.micro += sec
 	n.met.BusySeconds += sec
+	qs.BusySeconds += sec
 }
+
+func (n *Node) bill(sec float64) { n.billTo(n.curStats, sec) }
+
+// billSystem charges the reserved system query regardless of which
+// strand is running (the network pre/postamble).
+func (n *Node) billSystem(sec float64) { n.billTo(n.sysStats, sec) }
 
 func (n *Node) ruleError(ruleID string, err error) {
 	n.met.RuleErrors++
@@ -549,6 +933,7 @@ func (n *Node) TraceStageDone(s *dataflow.Strand, stage int) {
 // postamble).
 func (n *Node) EmitHead(s *dataflow.Strand, t tuple.Tuple, isDelete bool) {
 	n.met.HeadsEmitted++
+	n.curStats.HeadsEmitted++
 	if isDelete {
 		if loc := t.Loc(); loc != "" && loc != n.cfg.Addr {
 			n.ruleError(s.RuleID, fmt.Errorf("delete rule head must be local, got %s", loc))
@@ -575,7 +960,8 @@ func (n *Node) EmitHead(s *dataflow.Strand, t tuple.Tuple, isDelete bool) {
 	// from the exact encoded size, so it never grows mid-append after
 	// warmup), then hand the envelope its own exact-size copy — the
 	// transport holds Raw beyond this task, so it cannot alias scratch.
-	n.bill(dataflow.CostMarshal)
+	// The postamble is system overhead, not query work.
+	n.billSystem(dataflow.CostMarshal)
 	if sz := tuple.EncodedSize(t); cap(n.scratch) < sz {
 		n.scratch = make([]byte, 0, sz)
 	}

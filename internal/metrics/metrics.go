@@ -53,6 +53,40 @@ func (n Node) Sub(prev Node) Node {
 	}
 }
 
+// SystemQuery is the reserved query ID that absorbs costs not
+// attributable to any installed query: the network preamble (unmarshal,
+// demux) and postamble (marshal), table sweeps, restarts, and the
+// engine's own bookkeeping. Per-query bills plus the system bill always
+// sum to the node totals.
+const SystemQuery = "system"
+
+// Query holds per-query resource attribution counters for one node: the
+// slice of the node's work billed to strands installed under one query
+// ID (ACME-style per-query monitoring bills).
+type Query struct {
+	// BusySeconds is simulated CPU billed to this query's strands.
+	BusySeconds float64
+	// RuleFires counts activations of this query's strands.
+	RuleFires int64
+	// HeadsEmitted counts head tuples produced by this query's strands.
+	HeadsEmitted int64
+	// TimerFires counts firings of this query's periodic triggers.
+	TimerFires int64
+}
+
+// Snapshot returns a copy of the counters.
+func (q *Query) Snapshot() Query { return *q }
+
+// Sub returns the counter deltas q - prev (for windowed measurements).
+func (q Query) Sub(prev Query) Query {
+	return Query{
+		BusySeconds:  q.BusySeconds - prev.BusySeconds,
+		RuleFires:    q.RuleFires - prev.RuleFires,
+		HeadsEmitted: q.HeadsEmitted - prev.HeadsEmitted,
+		TimerFires:   q.TimerFires - prev.TimerFires,
+	}
+}
+
 // Faults counts fault-injection activity: how many scenario events were
 // applied, what they did to nodes and links, and how many messages the
 // message-level faults (targeted drop, duplication, reordering, delay

@@ -1,0 +1,64 @@
+package monitor
+
+import (
+	"fmt"
+
+	"p2go/internal/engine"
+	"p2go/internal/overlog"
+)
+
+// Detector is one deployable §3.1 monitoring query: a named OverLog
+// program that installs (and uninstalls) as a unit on ring members.
+type Detector struct {
+	// Name identifies the detector; Deploy installs it under the query
+	// ID "mon:<Name>".
+	Name string
+	// Program is the detector's OverLog program.
+	Program *overlog.Program
+	// SingleNode marks detectors the paper deploys at one observation
+	// point rather than on every member: the proactive prober of
+	// Figure 6 initiates ring-wide lookup traffic, and running it on
+	// all 21 nodes at once drives the ring into the distressed regime
+	// (load-delayed pings read as failures and the ring destabilizes).
+	SingleNode bool
+}
+
+// QueryID returns the engine query ID the detector deploys under.
+func (d Detector) QueryID() string { return "mon:" + d.Name }
+
+// Detectors returns the full §3.1 detector suite, ready to Deploy:
+// active and passive ring-consistency monitors (§3.1.1), the two
+// key-ordering checkers (§3.1.2), the oscillation detector (§3.1.3) and
+// the proactive inconsistency prober (§3.1.1). tProbe is the active ring
+// probe period and probePeriod the proactive prober's, both in seconds.
+func Detectors(tProbe, probePeriod float64) []Detector {
+	return []Detector{
+		{Name: "ring-probe", Program: RingProbeProgram(tProbe)},
+		{Name: "ring-passive", Program: RingPassiveProgram()},
+		{Name: "ordering", Program: OrderingOpportunisticProgram()},
+		{Name: "ordering-traversal", Program: OrderingTraversalProgram()},
+		{Name: "oscillation", Program: OscillationProgram()},
+		{Name: "consistency", Program: ConsistencyProgram(probePeriod), SingleNode: true},
+	}
+}
+
+// Deploy installs the detector on a node as the managed query
+// "mon:<name>" and returns that query ID. Deployment is atomic: a
+// detector that conflicts with installed state installs nothing.
+func Deploy(n *engine.Node, d Detector) (string, error) {
+	id, err := n.InstallQuery(d.QueryID(), d.Program)
+	if err != nil {
+		return "", fmt.Errorf("monitor: deploy %s: %w", d.Name, err)
+	}
+	return id, nil
+}
+
+// Undeploy uninstalls a previously deployed detector from a node: its
+// strands, timers, watches and solely-owned tables are removed and the
+// node returns to its pre-deployment dataflow shape.
+func Undeploy(n *engine.Node, d Detector) error {
+	if err := n.UninstallQuery(d.QueryID()); err != nil {
+		return fmt.Errorf("monitor: undeploy %s: %w", d.Name, err)
+	}
+	return nil
+}

@@ -13,6 +13,11 @@ import (
 // referencing them are planned.
 type Program struct {
 	Statements []Stmt
+	// Source is the original OverLog text the program was parsed from
+	// (empty for programs assembled directly from AST nodes). The engine
+	// retains it per installed query so queryTable can surface it and
+	// higher-order re-installation round-trips.
+	Source string
 }
 
 // Rules returns only the rule statements.

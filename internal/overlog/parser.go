@@ -25,7 +25,7 @@ func Parse(src string) (*Program, error) {
 		return nil, err
 	}
 	p := &parser{toks: toks}
-	prog := &Program{}
+	prog := &Program{Source: src}
 	for !p.at(tokEOF) {
 		s, err := p.statement()
 		if err != nil {

@@ -38,9 +38,10 @@ type EnvFunc func(name string) bool
 // IsMaterialized implements Env.
 func (f EnvFunc) IsMaterialized(name string) bool { return f(name) }
 
-// PlanRule compiles one rule into its strands. labelGen supplies labels
-// for unlabeled rules.
-func PlanRule(r *overlog.Rule, env Env, labelGen func() string) ([]*dataflow.Strand, error) {
+// PlanRule compiles one rule into its strands, tagging each with the
+// installing query's ID (the engine's unit of uninstallation and cost
+// attribution). labelGen supplies labels for unlabeled rules.
+func PlanRule(queryID string, r *overlog.Rule, env Env, labelGen func() string) ([]*dataflow.Strand, error) {
 	label := r.Label
 	if label == "" {
 		label = labelGen()
@@ -66,6 +67,7 @@ func PlanRule(r *overlog.Rule, env Env, labelGen func() string) ([]*dataflow.Str
 		if err != nil {
 			return nil, err
 		}
+		s.QueryID = queryID
 		return []*dataflow.Strand{s}, nil
 	}
 	// Delta rewrite: one strand per (distinct) body predicate position.
@@ -75,6 +77,7 @@ func PlanRule(r *overlog.Rule, env Env, labelGen func() string) ([]*dataflow.Str
 		if err != nil {
 			return nil, err
 		}
+		s.QueryID = queryID
 		strands = append(strands, s)
 	}
 	return strands, nil

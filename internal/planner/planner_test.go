@@ -30,9 +30,14 @@ func plan(t *testing.T, src string, e Env) []*dataflow.Strand {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	strands, err := PlanRule(prog.Rules()[0], e, genLabel)
+	strands, err := PlanRule("q", prog.Rules()[0], e, genLabel)
 	if err != nil {
 		t.Fatalf("plan: %v", err)
+	}
+	for _, s := range strands {
+		if s.QueryID != "q" {
+			t.Fatalf("strand %s: QueryID = %q, want %q", s, s.QueryID, "q")
+		}
 	}
 	return strands
 }
@@ -43,7 +48,7 @@ func planErr(t *testing.T, src string, e Env) error {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	_, err = PlanRule(prog.Rules()[0], e, genLabel)
+	_, err = PlanRule("q", prog.Rules()[0], e, genLabel)
 	if err == nil {
 		t.Fatalf("plan of %q must fail", src)
 	}

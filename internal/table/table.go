@@ -422,26 +422,53 @@ func NewStore() *Store {
 	return &Store{tables: make(map[string]*Table)}
 }
 
+// Conflicts reports whether two specs for the same predicate disagree on
+// shape (lifetime, size bound, or primary key). A nil error means other
+// is a compatible re-declaration of s.
+func (s Spec) Conflicts(other Spec) error {
+	if s.Lifetime != other.Lifetime || s.MaxSize != other.MaxSize ||
+		len(s.Keys) != len(other.Keys) {
+		return fmt.Errorf("table %s already materialized with different spec", s.Name)
+	}
+	for i := range s.Keys {
+		if s.Keys[i] != other.Keys[i] {
+			return fmt.Errorf("table %s already materialized with different keys", s.Name)
+		}
+	}
+	return nil
+}
+
+// Check validates spec against the store without creating anything: it
+// returns the conflict error Materialize would, or nil. Install paths use
+// it to validate a whole program before mutating any state.
+func (s *Store) Check(spec Spec) error {
+	if tb, ok := s.tables[spec.Name]; ok {
+		return tb.spec.Conflicts(spec)
+	}
+	return nil
+}
+
 // Materialize creates (or returns the existing) table for the spec. A
 // respecification with a different shape is an error: OverLog programs
 // may be composed on-line, but a predicate's storage is declared once.
 func (s *Store) Materialize(spec Spec) (*Table, error) {
 	if tb, ok := s.tables[spec.Name]; ok {
-		old := tb.spec
-		if old.Lifetime != spec.Lifetime || old.MaxSize != spec.MaxSize ||
-			len(old.Keys) != len(spec.Keys) {
-			return nil, fmt.Errorf("table %s already materialized with different spec", spec.Name)
-		}
-		for i := range old.Keys {
-			if old.Keys[i] != spec.Keys[i] {
-				return nil, fmt.Errorf("table %s already materialized with different keys", spec.Name)
-			}
+		if err := tb.spec.Conflicts(spec); err != nil {
+			return nil, err
 		}
 		return tb, nil
 	}
 	tb := New(spec)
 	s.tables[spec.Name] = tb
 	return tb, nil
+}
+
+// Drop removes a table from the store, discarding its rows, listeners and
+// indexes without firing delete events: a dropped query's state simply
+// vanishes, like the soft state of a dead process. Dropping an unknown
+// name is a no-op.
+func (s *Store) Drop(name string) {
+	delete(s.tables, name)
 }
 
 // Get returns the table for a predicate, or nil if the predicate is not

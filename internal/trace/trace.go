@@ -392,6 +392,19 @@ func (tr *Tracer) Reset() {
 	tr.records = make(map[*dataflow.Strand][]*record)
 }
 
+// ForgetStrand drops the per-strand record state of an uninstalled
+// strand, so the tracer holds no reference to it. Already-emitted
+// ruleExec rows survive (they are execution history and age out by TTL);
+// memo references are owned by those rows, not by records, so nothing
+// leaks.
+func (tr *Tracer) ForgetStrand(s *dataflow.Strand) {
+	delete(tr.records, s)
+}
+
+// RecordStrands reports how many strands currently hold tracer records
+// (a leak check for query uninstallation).
+func (tr *Tracer) RecordStrands() int { return len(tr.records) }
+
 // MemoSize reports how many tuples are currently memoized (live trace
 // tuples, part of the memory-overhead measurements).
 func (tr *Tracer) MemoSize() int { return len(tr.memo) }
