@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test check cover bench bench-smoke bench-churn bench-lifecycle fuzz examples tidy
+.PHONY: build test check cover bench bench-smoke bench-churn bench-lifecycle bench-trace bench-profiler fuzz examples tidy
 
 build:
 	go build ./...
@@ -40,6 +40,17 @@ bench-churn:
 # and writes BENCH_lifecycle.json.
 bench-lifecycle:
 	go run ./cmd/p2bench -exp lifecycle -json
+
+# Causal trace export: runs a traced 21-node ring with lookups from the
+# measured node, writes TRACE_chrome.json (load into chrome://tracing or
+# Perfetto) and TRACE_metrics.prom, plus BENCH_trace.json.
+bench-trace:
+	go run ./cmd/p2bench -exp trace -json
+
+# Stats-publication overhead: the churn run with the nodeStats/queryStats
+# publication off vs on; writes BENCH_profiler.json.
+bench-profiler:
+	go run ./cmd/p2bench -exp profiler -json
 
 fuzz:
 	go test -run '^$$' -fuzz FuzzUnmarshal -fuzztime 30s ./internal/tuple/

@@ -14,6 +14,8 @@
 //	p2bench -exp churn          # crash/rejoin churn with §3.1 detectors
 //	p2bench -exp lifecycle      # install/measure/uninstall each §3.1 detector
 //	p2bench -exp scenario -scenario f.txt   # replay a fault scenario file
+//	p2bench -exp trace          # export a causal Chrome trace + Prometheus scrape
+//	p2bench -exp profiler       # stats-publication overhead on the churn run
 //
 // -parallel runs every ring on simnet's conservative parallel driver
 // (same virtual-time results, different wall clock); -workers bounds its
@@ -34,13 +36,13 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: logging, fig4, fig5, fig6, fig7, smoke, ablation, churn, lifecycle, scenario, all")
+		exp      = flag.String("exp", "all", "experiment: logging, fig4, fig5, fig6, fig7, smoke, ablation, churn, lifecycle, scenario, trace, profiler, all")
 		seed     = flag.Int64("seed", 42, "random seed")
 		parallel = flag.Bool("parallel", false, "run rings on the conservative parallel simnet driver")
 		workers  = flag.Int("workers", 0, "parallel worker pool size (0 = GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "also write each experiment's result to BENCH_<exp>.json")
 		scenario = flag.String("scenario", "", "fault scenario file for -exp scenario (see internal/faults.Parse)")
-		quick    = flag.Bool("quick", false, "shrink -exp lifecycle to a smoke-sized run (CI)")
+		quick    = flag.Bool("quick", false, "shrink -exp lifecycle/trace to a smoke-sized run (CI)")
 	)
 	flag.Parse()
 	bench.Parallel = *parallel
@@ -150,6 +152,26 @@ func main() {
 				if !s.Restored {
 					log.Fatalf("lifecycle contract violated: %s did not restore the dataflow shape", s.Detector)
 				}
+			}
+			payload = res
+		case "trace":
+			res, err := bench.TraceExport(*seed, *quick, ".")
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(bench.FormatTrace(res))
+			if len(res.Stats.FlowNodes) < 3 {
+				log.Fatalf("trace contract violated: flows span only %d nodes", len(res.Stats.FlowNodes))
+			}
+			payload = res
+		case "profiler":
+			res, err := bench.StatsOverhead(*seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(bench.FormatStatsOverhead(res))
+			if res.AccountingErr != "" {
+				log.Fatal("per-query accounting invariant violated")
 			}
 			payload = res
 		case "scenario":

@@ -11,6 +11,10 @@
 //	link@n1("n2", 1).
 //
 // Tables can be dumped at exit with -dump table1,table2.
+//
+// Under -realtime, -metrics-addr serves every node's counters and
+// latency histograms as a Prometheus /metrics endpoint while the
+// network runs (see docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -37,11 +41,15 @@ func main() {
 		seed        = flag.Int64("rngseed", 1, "simulation random seed")
 		tracing     = flag.Bool("trace", false, "enable execution logging")
 		realTime    = flag.Bool("realtime", false, "run on wall-clock time (goroutine per node) instead of the simulator")
+		metricsAddr = flag.String("metrics-addr", "", "with -realtime: serve Prometheus metrics for every node on this address (e.g. 127.0.0.1:9090)")
 	)
 	flag.Parse()
 	if *programPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *metricsAddr != "" && !*realTime {
+		log.Fatal("-metrics-addr needs -realtime (the simulator has no wall clock to scrape against)")
 	}
 	src, err := os.ReadFile(*programPath)
 	if err != nil {
@@ -53,7 +61,7 @@ func main() {
 	}
 
 	if *realTime {
-		runRealtime(prog, *nodes, *runFor, *seedPath, *seed, *tracing, *dump)
+		runRealtime(prog, *nodes, *runFor, *seedPath, *seed, *tracing, *dump, *metricsAddr)
 		return
 	}
 	sim := p2go.NewSim()
@@ -105,7 +113,7 @@ func main() {
 }
 
 // runRealtime executes the program under the goroutine-per-node driver.
-func runRealtime(prog *p2go.Program, nodes int, runFor float64, seedPath string, seed int64, tracing bool, dump string) {
+func runRealtime(prog *p2go.Program, nodes int, runFor float64, seedPath string, seed int64, tracing bool, dump, metricsAddr string) {
 	net := realtime.NewNetwork(realtime.Config{
 		Seed:     seed,
 		MinDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond,
@@ -129,6 +137,13 @@ func runRealtime(prog *p2go.Program, nodes int, runFor float64, seedPath string,
 		if err := n.InstallProgram(prog); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if metricsAddr != "" {
+		bound, err := net.ServeMetrics(metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", bound)
 	}
 	net.Start()
 	if seedPath != "" {

@@ -84,6 +84,9 @@ type Sample struct {
 	TxMessages int64
 	// RuleFires is the number of strand activations during the window.
 	RuleFires int64
+	// Series holds the sub-window time series sampled while the
+	// measurement ran (SeriesWindow-second deltas, oldest first).
+	Series []metrics.SeriesPoint `json:"series,omitempty"`
 }
 
 func (s Sample) String() string {
@@ -104,13 +107,43 @@ func buildRing(seed int64, tracing *trace.Config) (*chord.Ring, error) {
 	return r, nil
 }
 
+// SeriesWindow is the sub-window length (seconds) at which measure
+// samples the measured node's time series, and SeriesCap bounds how
+// many points a sample retains (a full warm+window run fits).
+const (
+	SeriesWindow = 10.0
+	SeriesCap    = 32
+)
+
 // measure runs the warm-up and window phases and samples the measured
-// node.
+// node. Both phases advance in SeriesWindow-second steps, recording a
+// windowed counter delta per step into a bounded ring; stepping Run
+// does not change the event order, so results are identical to a
+// single Run call.
 func measure(r *chord.Ring, label string, x float64) Sample {
 	n := r.Node(Measured)
-	r.Run(WarmTime)
+	ring := metrics.NewSeriesRing(SeriesCap)
+	prev := n.Metrics()
+	step := func(total float64) {
+		for done := 0.0; done < total-1e-9; done += SeriesWindow {
+			w := SeriesWindow
+			if rem := total - done; rem < w {
+				w = rem
+			}
+			r.Run(w)
+			cur := n.Metrics()
+			ring.Record(metrics.SeriesPoint{
+				T:          r.Sim.Now(),
+				Window:     w,
+				Node:       cur.Sub(prev),
+				LiveTuples: n.Store().LiveTuples(),
+			})
+			prev = cur
+		}
+	}
+	step(WarmTime)
 	before := n.Metrics()
-	r.Run(WindowTime)
+	step(WindowTime)
 	after := n.Metrics()
 	d := after.Sub(before)
 	return Sample{
@@ -121,6 +154,7 @@ func measure(r *chord.Ring, label string, x float64) Sample {
 		LiveTuples: n.Store().LiveTuples(),
 		TxMessages: d.MsgsSent,
 		RuleFires:  d.RuleFires,
+		Series:     ring.Points(),
 	}
 }
 

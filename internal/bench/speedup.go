@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"reflect"
 	"time"
 
 	"p2go/internal/chord"
@@ -67,6 +68,9 @@ func SpeedupSmoke(seed int64, workers int) (SpeedupResult, error) {
 	if res.Par, res.ParWall, err = run(true); err != nil {
 		return res, err
 	}
-	res.Match = res.Seq == res.Par
+	// DeepEqual covers the sub-window series too: both drivers must
+	// produce identical per-window counter deltas, not just identical
+	// end-of-window totals.
+	res.Match = reflect.DeepEqual(res.Seq, res.Par)
 	return res, nil
 }

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTraceExportGolden runs the quick trace experiment at a fixed seed
+// and compares both export files byte-for-byte against the checked-in
+// golden copies. The run is pure virtual time on the sequential driver,
+// so any diff is a real change to the export format or the engine's
+// execution, not noise. Regenerate with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/bench -run TestTraceExportGolden
+func TestTraceExportGolden(t *testing.T) {
+	dir := t.TempDir()
+	res, err := TraceExport(7, true, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.RuleExecs == 0 {
+		t.Error("trace exported no rule activations")
+	}
+	if res.Stats.Flows == 0 {
+		t.Error("trace exported no cross-node flows")
+	}
+	if len(res.Stats.FlowNodes) < 3 {
+		t.Errorf("flows span %d nodes %v, want >= 3", len(res.Stats.FlowNodes), res.Stats.FlowNodes)
+	}
+
+	chrome, err := os.ReadFile(res.ChromePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome, &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome export has no events")
+	}
+	prom, err := os.ReadFile(res.PromPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE p2_busy_seconds_total counter",
+		`p2_query_busy_seconds_total{node="n4",query="system"}`,
+		"# TYPE p2_hop_latency_seconds histogram",
+		`p2_queue_wait_seconds_count{node="n4"}`,
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("prometheus export missing %q", want)
+		}
+	}
+
+	for name, got := range map[string][]byte{
+		TraceChromeFile: chrome,
+		TracePromFile:   prom,
+	} {
+		golden := filepath.Join("testdata", name+".golden")
+		if os.Getenv("UPDATE_GOLDEN") != "" {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(golden, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing golden file (regenerate with UPDATE_GOLDEN=1): %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s differs from golden %s (regenerate with UPDATE_GOLDEN=1 if the change is intended); got %d bytes, want %d",
+				name, golden, len(got), len(want))
+		}
+	}
+}
+
+// TestTraceExportDeterministic re-runs the quick experiment and demands
+// byte-identical outputs — the property the golden files rely on.
+func TestTraceExportDeterministic(t *testing.T) {
+	d1, d2 := t.TempDir(), t.TempDir()
+	if _, err := TraceExport(3, true, d1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TraceExport(3, true, d2); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{TraceChromeFile, TracePromFile} {
+		a, err := os.ReadFile(filepath.Join(d1, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(d2, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s not byte-stable across identical runs", name)
+		}
+	}
+}

@@ -53,6 +53,10 @@ type ChurnConfig struct {
 	// pick an UninstallAt when the targets are up (0 = at convergence).
 	Uninstall   []string
 	UninstallAt float64
+	// StatsPeriod, when positive, turns on stats publication on every
+	// node (see RingConfig.StatsPeriod) — used by the overhead
+	// measurement comparing churn runs with publication on and off.
+	StatsPeriod float64
 }
 
 func (c ChurnConfig) withDefaults() ChurnConfig {
@@ -151,6 +155,7 @@ func RunChurn(cfg ChurnConfig) (*Ring, ChurnResult, error) {
 		N: cfg.N, Seed: cfg.Seed, LossProb: cfg.LossProb,
 		Parallel: cfg.Parallel, Workers: cfg.Workers,
 		ExtraPrograms: cfg.Detectors,
+		StatsPeriod:   cfg.StatsPeriod,
 	})
 	if err != nil {
 		return nil, ChurnResult{}, err

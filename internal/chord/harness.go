@@ -39,6 +39,11 @@ type RingConfig struct {
 	// queries, §3-style add-ons), as managed queries named "extra1",
 	// "extra2", ... in slice order — uninstallable by that ID.
 	ExtraPrograms []*overlog.Program
+	// StatsPeriod, when positive, turns on stats publication on every
+	// node (engine.EnableStatsPublication): the engine's counters become
+	// queryable through the nodeStats/queryStats tables, refreshed on
+	// this period.
+	StatsPeriod float64
 }
 
 // ExtraQueryID returns the query ID the harness installs the i-th
@@ -111,6 +116,11 @@ func NewRing(cfg RingConfig) (*Ring, error) {
 		}
 		for i, p := range cfg.ExtraPrograms {
 			if _, err := n.InstallQuery(ExtraQueryID(i), p); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.StatsPeriod > 0 {
+			if err := n.EnableStatsPublication(cfg.StatsPeriod); err != nil {
 				return nil, err
 			}
 		}

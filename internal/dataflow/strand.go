@@ -199,6 +199,7 @@ const (
 	CostTableOp      = 62.5e-6 // table insert/delete
 	CostMarshal      = 50e-6   // marshal or unmarshal one tuple
 	CostTraceTap     = 25e-6   // tracer tap + log-table bookkeeping (when tracing on)
+	CostStatsPublish = 30e-6   // snapshotting the counters for one stats publication
 )
 
 // Run executes one activation of the strand for the triggering tuple.

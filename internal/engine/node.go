@@ -20,6 +20,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 
 	"math/rand"
 
@@ -39,6 +40,29 @@ const (
 	TableTableName = "tableTable"
 	QueryTableName = "queryTable"
 )
+
+// Performance-counter reflection tables: the engine's metrics.Node
+// counters and per-query bills, published as ordinary soft-state rows
+// on a configurable period (EnableStatsPublication) so OverLog programs
+// can query live engine performance — the §3.2 profiler as a pure
+// query. Row layouts:
+//
+//	nodeStats(NAddr, Counter, Value)
+//	queryStats(NAddr, QueryID, Counter, Value)
+//
+// Counter names follow metrics.Node.Counters / metrics.Query.Counters;
+// Value is a float for BusySeconds and an int for everything else.
+const (
+	NodeStatsTableName  = "nodeStats"
+	QueryStatsTableName = "queryStats"
+)
+
+// StatsPublishEventName is the internal event that triggers one stats
+// publication. EnableStatsPublication installs a periodic rule emitting
+// it; the engine intercepts the event (like installProgram) and queues
+// fresh nodeStats/queryStats rows through the normal dataflow path, so
+// delta strands reading the stats tables fire like on any other table.
+const StatsPublishEventName = "statsPublish"
 
 // InstallEventName is the higher-order installation event (§1.3: "the
 // system can be programmed to react to events by installing new triggers
@@ -172,6 +196,11 @@ type Node struct {
 
 	tracer *trace.Tracer
 	met    metrics.Node
+	hists  metrics.NodeHists
+	// statsPub is the engine-owned periodic driving stats publication
+	// (nil until EnableStatsPublication); statsPeriod its interval.
+	statsPub    *Periodic
+	statsPeriod float64
 	// perQuery splits the node counters by query ID; curStats points at
 	// the bucket bills currently land in (the running strand's query, or
 	// system between strands).
@@ -191,9 +220,11 @@ type Node struct {
 	// bootstrap a real process re-runs when it comes back up).
 	preamble []tuple.Tuple
 
-	ruleTable  *table.Table
-	tableTable *table.Table
-	queryTable *table.Table
+	ruleTable     *table.Table
+	tableTable    *table.Table
+	queryTable    *table.Table
+	nodeStatsTbl  *table.Table
+	queryStatsTbl *table.Table
 }
 
 // NewNode creates a node.
@@ -228,6 +259,17 @@ func NewNode(cfg Config) *Node {
 		Name: QueryTableName, Lifetime: table.Infinity, MaxSize: table.Infinity,
 		Keys: []int{2},
 	})
+	// Performance-counter tables exist from birth (empty until
+	// EnableStatsPublication turns publication on), so any OverLog
+	// program can join them without declaring them.
+	n.nodeStatsTbl, _ = n.store.Materialize(table.Spec{
+		Name: NodeStatsTableName, Lifetime: table.Infinity, MaxSize: table.Infinity,
+		Keys: []int{2},
+	})
+	n.queryStatsTbl, _ = n.store.Materialize(table.Spec{
+		Name: QueryStatsTableName, Lifetime: table.Infinity, MaxSize: table.Infinity,
+		Keys: []int{2, 3},
+	})
 	return n
 }
 
@@ -237,6 +279,7 @@ func NewNode(cfg Config) *Node {
 func isSystemTable(name string) bool {
 	switch name {
 	case RuleTableName, TableTableName, QueryTableName,
+		NodeStatsTableName, QueryStatsTableName,
 		trace.RuleExecTable, trace.TupleTable, trace.TupleLogTable:
 		return true
 	}
@@ -252,6 +295,27 @@ func (n *Node) Store() *table.Store { return n.store }
 
 // Metrics returns a snapshot of the node's counters.
 func (n *Node) Metrics() metrics.Node { return n.met.Snapshot() }
+
+// Hists returns a snapshot (value copy) of the node's latency/cost
+// histograms. Like Metrics it must only be called from the node's
+// executor or while the node is stopped; concurrent readers snapshot
+// through the driver.
+func (n *Node) Hists() metrics.NodeHists { return n.hists }
+
+// ObserveHop records one per-hop message latency in seconds. Drivers
+// call it on the receiving node as a delivered message is observed:
+// virtual send-to-arrival time under simnet, wall clock under realtime.
+// Pure observation — it bills nothing, so enabling histograms changes
+// neither determinism nor per-query accounting.
+func (n *Node) ObserveHop(sec float64) { n.hists.HopLatency.Observe(sec) }
+
+// ObserveQueueWait records how long a task waited in the node's run
+// queue before starting and the queue depth (task itself included)
+// observed at that moment. Pure observation, like ObserveHop.
+func (n *Node) ObserveQueueWait(wait float64, depth int) {
+	n.hists.QueueWait.Observe(wait)
+	n.hists.QueueDepth.Observe(float64(depth))
+}
 
 // QueryMetrics returns a snapshot of the per-query counters, keyed by
 // query ID. The reserved "system" bucket holds unattributable costs;
@@ -299,6 +363,92 @@ func (n *Node) EnableTracing(cfg trace.Config) error {
 		n.subscribeLog(name)
 	}
 	return nil
+}
+
+// EnableStatsPublication turns on queryable performance counters: every
+// period virtual seconds the node's metrics.Node counters and per-query
+// bills are re-published into the nodeStats and queryStats tables,
+// flowing through the normal dataflow queue so delta strands reading
+// them fire like on any other table change. The publication rule and
+// every cost it incurs are metered to the reserved "system" query (the
+// engine billing itself is bookkeeping, not application work). Idempotent;
+// the first call's period wins. Like a restart wipes any soft state,
+// Rejoin clears the published rows — they reappear within one period.
+func (n *Node) EnableStatsPublication(period float64) error {
+	if n.statsPub != nil {
+		return nil
+	}
+	if period <= 0 {
+		return fmt.Errorf("engine: stats publication period must be positive, got %g", period)
+	}
+	src := fmt.Sprintf("statsPub %s@NAddr() :- periodic@NAddr(E, %g).", StatsPublishEventName, period)
+	prog, err := overlog.Parse(src)
+	if err != nil {
+		return fmt.Errorf("engine: stats publication: %w", err)
+	}
+	rules := prog.Rules()
+	ss, err := planner.PlanRule(SystemQuery, rules[0], planner.EnvFunc(func(name string) bool {
+		return n.store.Get(name) != nil
+	}), n.genLabel)
+	if err != nil {
+		return fmt.Errorf("engine: stats publication: %w", err)
+	}
+	// The strand belongs to the reserved system query (InstallQuery
+	// refuses that ID precisely so only the engine can bill it), so
+	// runStrand and HandleTimer attribute its work to the system bucket.
+	s := ss[0]
+	p := &Periodic{Strand: s, node: n}
+	n.periodics = append(n.periodics, p)
+	n.statsPub = p
+	n.statsPeriod = period
+	n.reflect(tuple.New(RuleTableName,
+		tuple.Str(n.cfg.Addr), tuple.Str(SystemQuery), tuple.Str(s.RuleID),
+		tuple.Str(s.Trigger.Name), tuple.Str(s.Source)), false)
+	if n.cfg.OnNewPeriodic != nil {
+		n.cfg.OnNewPeriodic(p)
+	}
+	if !n.inTask {
+		n.runReflectTask()
+	}
+	return nil
+}
+
+// StatsPeriod returns the stats-publication period, or 0 when off.
+func (n *Node) StatsPeriod() float64 { return n.statsPeriod }
+
+// publishStats snapshots the node and per-query counters and queues one
+// row per counter into the stats tables. Queued rows drain through
+// processOne like any other tuple: each insert bills CostTableOp to the
+// current bucket, which between strands is the system bucket — so the
+// entire publication is metered to the reserved system query and
+// per-query accounting keeps summing to node totals. Counter values are
+// the snapshot taken here; work done inserting the rows themselves shows
+// up in the next publication (self-measurement lags one period at most).
+func (n *Node) publishStats() {
+	n.billSystem(dataflow.CostStatsPublish)
+	addr := tuple.Str(n.cfg.Addr)
+	for _, c := range n.met.Snapshot().Counters() {
+		n.reflect(tuple.New(NodeStatsTableName,
+			addr, tuple.Str(c.Name), counterValue(c)), false)
+	}
+	ids := make([]string, 0, len(n.perQuery))
+	for id := range n.perQuery {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		for _, c := range n.perQuery[id].Snapshot().Counters() {
+			n.reflect(tuple.New(QueryStatsTableName,
+				addr, tuple.Str(id), tuple.Str(c.Name), counterValue(c)), false)
+		}
+	}
+}
+
+func counterValue(c metrics.Counter) tuple.Value {
+	if c.IsFloat {
+		return tuple.Float(c.F)
+	}
+	return tuple.Int(c.I)
 }
 
 // subscribeLog wires a table's change stream into the tracer's tupleLog.
@@ -758,6 +908,10 @@ func (n *Node) processOne(q queued) {
 		n.handleUninstallEvent(t)
 		return
 	}
+	if t.Name == StatsPublishEventName {
+		n.publishStats()
+		return
+	}
 	if tbl := n.store.Get(t.Name); tbl != nil {
 		n.bill(dataflow.CostTableOp)
 		changed, err := tbl.Insert(t, now)
@@ -778,13 +932,18 @@ func (n *Node) processOne(q queued) {
 }
 
 // runStrand runs one strand activation with its query's bucket receiving
-// the bills (per-query attribution at strand granularity).
+// the bills (per-query attribution at strand granularity). The billed
+// cost of the activation — everything accrued while the strand runs,
+// including cascade work it triggers inline — also feeds the StrandCost
+// histogram.
 func (n *Node) runStrand(s *dataflow.Strand, t tuple.Tuple) {
 	n.met.RuleFires++
 	prev := n.curStats
 	n.curStats = n.queryStats(s.QueryID)
 	n.curStats.RuleFires++
+	start := n.micro
 	s.Run(n, t)
+	n.hists.StrandCost.Observe(n.micro - start)
 	n.curStats = prev
 }
 

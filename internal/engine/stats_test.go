@@ -1,0 +1,147 @@
+package engine_test
+
+import (
+	"math"
+	"testing"
+
+	"p2go/internal/engine"
+	"p2go/internal/metrics"
+	"p2go/internal/tuple"
+)
+
+// counterMap flattens a node's published nodeStats rows into name→value.
+func counterMap(h *harness, addr string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, r := range h.rows(addr, engine.NodeStatsTableName) {
+		v := r.Field(2)
+		if v.Kind() == tuple.KindFloat {
+			out[r.Field(1).AsStr()] = v.AsFloat()
+		} else {
+			out[r.Field(1).AsStr()] = float64(v.AsInt())
+		}
+	}
+	return out
+}
+
+// TestStatsPublication: enabling publication fills nodeStats and
+// queryStats with rows matching the Go-side metrics within one refresh
+// period, and the publication work itself is billed to the reserved
+// system query so per-query bills still sum to node totals.
+func TestStatsPublication(t *testing.T) {
+	h := newHarness(t, pathProgram, "n1", "n2")
+	n := h.net.Node("n1")
+	if err := n.EnableStatsPublication(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.StatsPeriod(); got != 2 {
+		t.Fatalf("StatsPeriod = %v, want 2", got)
+	}
+	h.inject("n1", tuple.New("link", tuple.Str("n1"), tuple.Str("n2"), tuple.Int(1)))
+	h.net.Run(10)
+	h.noErrors()
+
+	// Every node counter must be published; each published value is a
+	// snapshot from within the last refresh period, so it is bounded by
+	// the live counter read at the end of the run.
+	live := n.Metrics()
+	pub := counterMap(h, "n1")
+	for _, c := range live.Counters() {
+		v, ok := pub[c.Name]
+		if !ok {
+			t.Fatalf("nodeStats missing counter %s (have %v)", c.Name, pub)
+		}
+		if v < 0 || v > c.Float() {
+			t.Errorf("published %s = %v outside [0, %v]", c.Name, v, c.Float())
+		}
+	}
+	if pub["TimerFires"] == 0 {
+		t.Error("published TimerFires = 0; the publication timer itself should have fired")
+	}
+
+	// queryStats must cover the system query (publication bills there)
+	// and the installed program's query.
+	queries := make(map[string]bool)
+	for _, r := range h.rows("n1", engine.QueryStatsTableName) {
+		queries[r.Field(1).AsStr()] = true
+	}
+	if !queries[engine.SystemQuery] {
+		t.Errorf("queryStats has no %q rows: %v", engine.SystemQuery, queries)
+	}
+	if len(queries) < 2 {
+		t.Errorf("queryStats covers %v, want system plus the installed query", queries)
+	}
+
+	// Accounting still holds with publication on: per-query busy seconds
+	// sum to the node total.
+	var sum float64
+	for _, q := range n.QueryMetrics() {
+		sum += q.BusySeconds
+	}
+	if diff := math.Abs(sum - live.BusySeconds); diff > 1e-9*(1+live.BusySeconds) {
+		t.Errorf("per-query bills sum to %v, node total %v", sum, live.BusySeconds)
+	}
+
+	// The system query carries the publication cost: strictly more busy
+	// time than an idle system bucket would have.
+	if q := n.QueryMetrics()[engine.SystemQuery]; q.TimerFires == 0 {
+		t.Errorf("system query TimerFires = 0, publication timer not billed there: %+v", q)
+	}
+}
+
+// TestStatsPublicationFiresDeltaRules: the stats tables behave like any
+// other table — an OverLog rule with a nodeStats delta trigger fires
+// when a published counter changes value.
+func TestStatsPublicationFiresDeltaRules(t *testing.T) {
+	prog := pathProgram + `
+sp1 sawStats@NAddr(Counter, Value) :- nodeStats@NAddr(Counter, Value), Counter == "TuplesProcessed".
+watch(sawStats).
+`
+	h := newHarness(t, prog, "n1")
+	if err := h.net.Node("n1").EnableStatsPublication(1); err != nil {
+		t.Fatal(err)
+	}
+	h.net.Run(5)
+	h.noErrors()
+	saw := 0
+	for _, w := range h.watched {
+		if w.Name == "sawStats" {
+			saw++
+		}
+	}
+	// TuplesProcessed grows every publication (the publication inserts
+	// rows itself), so the delta rule fires on every refresh.
+	if saw < 2 {
+		t.Fatalf("delta rule fired %d times over 5 s with a 1 s period, want >= 2", saw)
+	}
+}
+
+// TestEnableStatsPublicationValidation: non-positive periods are
+// rejected; a second enable is a no-op keeping the first period.
+func TestEnableStatsPublicationValidation(t *testing.T) {
+	h := newHarness(t, pathProgram, "n1")
+	n := h.net.Node("n1")
+	if err := n.EnableStatsPublication(0); err == nil {
+		t.Fatal("period 0 accepted")
+	}
+	if err := n.EnableStatsPublication(-1); err == nil {
+		t.Fatal("negative period accepted")
+	}
+	if err := n.EnableStatsPublication(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.EnableStatsPublication(7); err != nil {
+		t.Fatalf("idempotent enable errored: %v", err)
+	}
+	if got := n.StatsPeriod(); got != 3 {
+		t.Fatalf("StatsPeriod = %v after double enable, want first period 3", got)
+	}
+	before := len(h.rows("n1", engine.NodeStatsTableName))
+	if before != 0 {
+		t.Fatalf("stats rows before any firing: %d", before)
+	}
+	h.net.Run(8)
+	h.noErrors()
+	if got := len(h.rows("n1", engine.NodeStatsTableName)); got != len(metrics.Node{}.Counters()) {
+		t.Fatalf("nodeStats has %d rows, want one per counter (%d)", got, len(metrics.Node{}.Counters()))
+	}
+}

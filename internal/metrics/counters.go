@@ -1,0 +1,52 @@
+package metrics
+
+// Counter is one named counter value in the canonical enumeration the
+// stats-publication tables and the Prometheus writer share. Exactly one
+// of F/I is meaningful, selected by IsFloat.
+type Counter struct {
+	// Name is the counter's name as it appears in the nodeStats and
+	// queryStats system tables (the Go field name).
+	Name string
+	// Prom is the Prometheus metric stem (snake case, no p2_ prefix or
+	// _total suffix).
+	Prom    string
+	IsFloat bool
+	F       float64
+	I       int64
+}
+
+// Float returns the counter's value as a float64 regardless of kind.
+func (c Counter) Float() float64 {
+	if c.IsFloat {
+		return c.F
+	}
+	return float64(c.I)
+}
+
+// Counters enumerates the node counters in a fixed canonical order —
+// the single source of truth for stats publication, the Prometheus
+// writer, and the OverLog profiler's expectations.
+func (n Node) Counters() []Counter {
+	return []Counter{
+		{Name: "BusySeconds", Prom: "busy_seconds", IsFloat: true, F: n.BusySeconds},
+		{Name: "MsgsSent", Prom: "msgs_sent", I: n.MsgsSent},
+		{Name: "MsgsRecv", Prom: "msgs_recv", I: n.MsgsRecv},
+		{Name: "BytesSent", Prom: "bytes_sent", I: n.BytesSent},
+		{Name: "BytesRecv", Prom: "bytes_recv", I: n.BytesRecv},
+		{Name: "TuplesProcessed", Prom: "tuples_processed", I: n.TuplesProcessed},
+		{Name: "RuleFires", Prom: "rule_fires", I: n.RuleFires},
+		{Name: "HeadsEmitted", Prom: "heads_emitted", I: n.HeadsEmitted},
+		{Name: "RuleErrors", Prom: "rule_errors", I: n.RuleErrors},
+		{Name: "TimerFires", Prom: "timer_fires", I: n.TimerFires},
+	}
+}
+
+// Counters enumerates the per-query counters in a fixed canonical order.
+func (q Query) Counters() []Counter {
+	return []Counter{
+		{Name: "BusySeconds", Prom: "query_busy_seconds", IsFloat: true, F: q.BusySeconds},
+		{Name: "RuleFires", Prom: "query_rule_fires", I: q.RuleFires},
+		{Name: "HeadsEmitted", Prom: "query_heads_emitted", I: q.HeadsEmitted},
+		{Name: "TimerFires", Prom: "query_timer_fires", I: q.TimerFires},
+	}
+}

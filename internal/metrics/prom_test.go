@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusFormat pins the exposition format: counter lines
+// with node labels, per-query series sorted by query ID, histogram
+// cumulative buckets ending in +Inf, and byte-determinism.
+func TestWritePrometheusFormat(t *testing.T) {
+	m := Node{BusySeconds: 1.5, MsgsSent: 42}
+	queries := map[string]Query{
+		"zeta":      {BusySeconds: 0.25, RuleFires: 2},
+		"mon:probe": {BusySeconds: 1.0, RuleFires: 9},
+	}
+	var hists NodeHists
+	hists.HopLatency.Observe(0.015)
+	hists.HopLatency.Observe(0.015)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, "n7", m, queries, &hists); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE p2_busy_seconds_total counter\n",
+		`p2_busy_seconds_total{node="n7"} 1.5`,
+		`p2_msgs_sent_total{node="n7"} 42`,
+		`p2_query_busy_seconds_total{node="n7",query="mon:probe"} 1`,
+		`p2_query_busy_seconds_total{node="n7",query="zeta"} 0.25`,
+		"# TYPE p2_hop_latency_seconds histogram",
+		`p2_hop_latency_seconds_bucket{node="n7",le="+Inf"} 2`,
+		`p2_hop_latency_seconds_count{node="n7"} 2`,
+		`p2_hop_latency_seconds_sum{node="n7"} 0.03`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	// Query IDs sort: mon:probe before zeta.
+	if strings.Index(out, "mon:probe") > strings.Index(out, "zeta") {
+		t.Error("query series not sorted by ID")
+	}
+
+	var b2 strings.Builder
+	if err := WritePrometheus(&b2, "n7", m, queries, &hists); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("output not deterministic across calls")
+	}
+}
+
+// TestWritePrometheusEmpty: no queries, no histograms — still valid.
+func TestWritePrometheusEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, "n1", Node{}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `p2_rule_errors_total{node="n1"} 0`) {
+		t.Errorf("missing zero counter:\n%s", b.String())
+	}
+	if strings.Contains(b.String(), "histogram") {
+		t.Error("nil hists must emit no histogram sections")
+	}
+}

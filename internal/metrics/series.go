@@ -1,0 +1,66 @@
+package metrics
+
+// SeriesPoint is one windowed observation of a node: the counter deltas
+// over the window plus the instantaneous live-tuple count at its end.
+// The bench harness samples these sub-windows so the CPU/message/tuple
+// curves of Figures 4-7 come out of one code path.
+type SeriesPoint struct {
+	// T is the virtual (or wall) time at the end of the window.
+	T float64 `json:"t"`
+	// Window is the window length in seconds.
+	Window float64 `json:"window"`
+	// Node holds the counter deltas accumulated during the window.
+	Node Node `json:"node"`
+	// LiveTuples is the node's live soft-state tuple count at T.
+	LiveTuples int `json:"liveTuples"`
+}
+
+// CPUPercent is the window's CPU utilization in percent.
+func (p SeriesPoint) CPUPercent() float64 {
+	return CPUPercent(p.Node.BusySeconds, p.Window)
+}
+
+// SeriesRing is a bounded ring of SeriesPoints: a fixed-memory
+// time-series buffer of windowed Node.Sub snapshots. The zero value is
+// unusable; construct with NewSeriesRing.
+type SeriesRing struct {
+	buf  []SeriesPoint
+	next int
+	n    int
+}
+
+// NewSeriesRing creates a ring holding the most recent max points.
+func NewSeriesRing(max int) *SeriesRing {
+	if max < 1 {
+		max = 1
+	}
+	return &SeriesRing{buf: make([]SeriesPoint, max)}
+}
+
+// Record appends a point, evicting the oldest when full.
+func (r *SeriesRing) Record(p SeriesPoint) {
+	r.buf[r.next] = p
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// Len returns the number of stored points.
+func (r *SeriesRing) Len() int { return r.n }
+
+// Cap returns the ring capacity.
+func (r *SeriesRing) Cap() int { return len(r.buf) }
+
+// Points returns the stored points, oldest first.
+func (r *SeriesRing) Points() []SeriesPoint {
+	out := make([]SeriesPoint, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}

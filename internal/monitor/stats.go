@@ -1,0 +1,48 @@
+package monitor
+
+import (
+	"fmt"
+
+	"p2go/internal/overlog"
+)
+
+// StatsProfilerRules implement the §3.2 performance profiler as a pure
+// OverLog query over the engine's queryable performance counters: once
+// the engine publishes its metrics into the nodeStats and queryStats
+// system tables (engine.EnableStatsPublication), these two rules
+// periodically read them back out — no Go inspection API involved.
+//
+//	pf1  emits profile(NAddr, Counter, Value) for every node counter,
+//	pf2  emits profQuery(NAddr, QueryID, Counter, Value) for every
+//	     per-query bill — the ACME-style "how much is each monitoring
+//	     query costing me" report.
+//
+// The rules trigger on their own periodic (period seconds) and join the
+// stats tables, so every sweep reports the full current counter set
+// even when a counter did not change since the last publication. Pair
+// the period with the publication period: a sweep sees values at most
+// one publication period old.
+func StatsProfilerRules(period float64) string {
+	return fmt.Sprintf(`
+pf1 profile@NAddr(NAddr, Counter, Value) :- periodic@NAddr(E, %[1]g), nodeStats@NAddr(Counter, Value).
+pf2 profQuery@NAddr(NAddr, QueryID, Counter, Value) :- periodic@NAddr(E, %[1]g), queryStats@NAddr(QueryID, Counter, Value).
+
+watch(profile).
+watch(profQuery).
+`, period)
+}
+
+// StatsProfilerProgram parses the stats profiler with the given sweep
+// period.
+func StatsProfilerProgram(period float64) *overlog.Program {
+	return overlog.MustParse(StatsProfilerRules(period))
+}
+
+// ProfilerDetector wraps the stats profiler as a deployable detector
+// (query ID "mon:profiler"). It is not part of the default Detectors
+// suite: profiling is an on-demand forensic tool, deployed when an
+// operator wants per-node and per-query cost visibility, and its own
+// cost is itself visible in queryStats under "mon:profiler".
+func ProfilerDetector(period float64) Detector {
+	return Detector{Name: "profiler", Program: StatsProfilerProgram(period)}
+}

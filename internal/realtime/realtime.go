@@ -8,15 +8,28 @@
 // The simulator remains the right tool for benchmarks and reproducible
 // tests; this driver exists for interactive use (cmd/p2node -realtime)
 // and as the deployment shape a real P2 system would have.
+//
+// Concurrency invariant: every engine.Node has exactly one writer — the
+// goroutine serializing its tasks. The node's counters and histograms
+// (metrics.Node, metrics.NodeHists) are therefore plain non-atomic
+// values; reading them from any other goroutine while the node runs is
+// a data race. Concurrent inspection goes through MetricsSnapshot
+// (Network) or UDPNode.MetricsSnapshot, which run the read as a task on
+// the owning goroutine. Transport-level counters, which the socket
+// reader goroutine updates, are atomics (see transportCounters).
 package realtime
 
 import (
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
+	"sort"
 	"sync"
 	"time"
 
 	"p2go/internal/engine"
+	"p2go/internal/metrics"
 	"p2go/internal/overlog"
 	"p2go/internal/tuple"
 )
@@ -36,12 +49,21 @@ type Config struct {
 	OnRuleError func(now float64, node, ruleID string, err error)
 }
 
-type task func()
+// task is one unit of node work plus its enqueue time, so the executor
+// can observe queue wait and depth as it starts.
+type task struct {
+	run func()
+	at  time.Time
+}
 
 type host struct {
 	node  *engine.Node
 	tasks chan task
 	done  chan struct{}
+	// stopped is closed by the node goroutine as it exits, making
+	// "goroutine no longer touching the node" an observable event —
+	// after it, direct reads of the node are safe.
+	stopped chan struct{}
 }
 
 // Network runs nodes in real time. Create it, AddNode + InstallProgram
@@ -56,6 +78,7 @@ type Network struct {
 	hosts   map[string]*host
 	started bool
 	wg      sync.WaitGroup
+	metrics net.Listener
 }
 
 // NewNetwork creates a stopped real-time network.
@@ -97,7 +120,11 @@ func (n *Network) AddNode(addr string) (*engine.Node, error) {
 	if _, ok := n.hosts[addr]; ok {
 		return nil, fmt.Errorf("realtime: node %s already exists", addr)
 	}
-	h := &host{tasks: make(chan task, n.cfg.QueueDepth), done: make(chan struct{})}
+	h := &host{
+		tasks:   make(chan task, n.cfg.QueueDepth),
+		done:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
 	n.rngMu.Lock()
 	seed := n.rng.Int63()
 	n.rngMu.Unlock()
@@ -133,9 +160,15 @@ func (n *Network) deliver(dst string, env engine.Envelope) {
 	if !ok {
 		return
 	}
+	sent := time.Now()
 	send := func() {
 		select {
-		case h.tasks <- func() { h.node.HandleMessage(env) }:
+		case h.tasks <- task{at: time.Now(), run: func() {
+			// Hop latency is send-to-observation wall time, measured on
+			// the node goroutine (the single writer of node state).
+			h.node.ObserveHop(time.Since(sent).Seconds())
+			h.node.HandleMessage(env)
+		}}:
 		case <-h.done:
 		default: // queue full: drop, like UDP under overload
 		}
@@ -161,7 +194,7 @@ func (n *Network) armTimer(h *host, p *engine.Periodic) {
 		default:
 		}
 		select {
-		case h.tasks <- func() { h.node.HandleTimer(p) }:
+		case h.tasks <- task{at: time.Now(), run: func() { h.node.HandleTimer(p) }}:
 		case <-h.done:
 			return
 		}
@@ -185,11 +218,106 @@ func (n *Network) Inject(addr string, t tuple.Tuple) error {
 		return fmt.Errorf("realtime: network not running")
 	}
 	select {
-	case h.tasks <- func() { h.node.HandleLocal(t) }:
+	case h.tasks <- task{at: time.Now(), run: func() { h.node.HandleLocal(t) }}:
 		return nil
 	case <-h.done:
 		return fmt.Errorf("realtime: node %s stopped", addr)
 	}
+}
+
+// observeTaskStart records queue wait and depth for a dequeued task.
+// remaining is the channel length after the dequeue; the task itself is
+// counted back in. Runs on the node's executor goroutine.
+func observeTaskStart(node *engine.Node, t task, remaining int) {
+	node.ObserveQueueWait(time.Since(t.at).Seconds(), remaining+1)
+}
+
+// Stats is one consistent snapshot of a node's counters, per-query
+// bills and histograms, taken on the node's own goroutine.
+type Stats struct {
+	Node    metrics.Node
+	Queries map[string]metrics.Query
+	Hists   metrics.NodeHists
+}
+
+// MetricsSnapshot returns a consistent stats snapshot for a node, safe
+// to call concurrently with a running network. The engine's counters
+// have a single writer — the node goroutine — so the snapshot is taken
+// as a task on that goroutine and handed back over a channel; while the
+// network is stopped (no goroutine touching the node) it reads
+// directly. This is the supported way to inspect a live realtime node;
+// Network.Node remains stopped-only.
+func (n *Network) MetricsSnapshot(addr string) (Stats, error) {
+	n.mu.Lock()
+	h, ok := n.hosts[addr]
+	running := n.started
+	n.mu.Unlock()
+	if !ok {
+		return Stats{}, fmt.Errorf("realtime: no node %s", addr)
+	}
+	read := func() Stats {
+		return Stats{
+			Node:    h.node.Metrics(),
+			Queries: h.node.QueryMetrics(),
+			Hists:   h.node.Hists(),
+		}
+	}
+	if !running {
+		return read(), nil
+	}
+	ch := make(chan Stats, 1)
+	select {
+	case h.tasks <- task{at: time.Now(), run: func() { ch <- read() }}:
+	case <-h.stopped:
+		return read(), nil // goroutine gone: direct read is safe
+	}
+	select {
+	case s := <-ch:
+		return s, nil
+	case <-h.stopped:
+		// Stopped before the snapshot task ran; the goroutine has fully
+		// exited, so a direct read is safe now.
+		return read(), nil
+	}
+}
+
+// ServeMetrics exposes every node's counters, per-query bills and
+// histograms as Prometheus text exposition on http://<addr>/metrics
+// (cmd/p2node -realtime -metrics-addr). Each scrape takes one
+// MetricsSnapshot per node, so it is safe against a running network.
+// The returned address is the bound listen address (useful with port
+// 0); the listener is closed by Stop.
+func (n *Network) ServeMetrics(listen string) (string, error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return "", fmt.Errorf("realtime: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		n.mu.Lock()
+		addrs := make([]string, 0, len(n.hosts))
+		for a := range n.hosts {
+			addrs = append(addrs, a)
+		}
+		n.mu.Unlock()
+		sort.Strings(addrs)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, a := range addrs {
+			s, err := n.MetricsSnapshot(a)
+			if err != nil {
+				continue
+			}
+			if err := metrics.WritePrometheus(w, a, s.Node, s.Queries, &s.Hists); err != nil {
+				return
+			}
+		}
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // closed listener on Stop ends Serve
+	n.mu.Lock()
+	n.metrics = ln
+	n.mu.Unlock()
+	return ln.Addr().String(), nil
 }
 
 // Node returns a node by address. The returned node must only be
@@ -217,6 +345,7 @@ func (n *Network) Start() {
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
+			defer close(h.stopped)
 			// Sweep soft state about once per second.
 			sweep := time.NewTicker(time.Second)
 			defer sweep.Stop()
@@ -225,7 +354,8 @@ func (n *Network) Start() {
 				case <-h.done:
 					return
 				case t := <-h.tasks:
-					t()
+					observeTaskStart(h.node, t, len(h.tasks))
+					t.run()
 				case <-sweep.C:
 					h.node.Sweep()
 				}
@@ -245,7 +375,12 @@ func (n *Network) Stop() {
 	for _, h := range n.hosts {
 		close(h.done)
 	}
+	ln := n.metrics
+	n.metrics = nil
 	n.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
 	n.wg.Wait()
 }
 

@@ -4,11 +4,13 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"p2go/internal/engine"
+	"p2go/internal/metrics"
 	"p2go/internal/tuple"
 )
 
@@ -48,10 +50,15 @@ type UDPNode struct {
 	peers map[string]*net.UDPAddr
 	tasks chan task
 	done  chan struct{}
-	wg    sync.WaitGroup
-	start time.Time
-	mu    sync.Mutex
-	stats transportCounters
+	// stopped is closed by the executor goroutine as it exits; after it,
+	// direct reads of the node are safe (see the package doc's
+	// single-writer invariant).
+	stopped chan struct{}
+	wg      sync.WaitGroup
+	start   time.Time
+	mu      sync.Mutex
+	stats   transportCounters
+	metrics net.Listener // optional /metrics HTTP listener
 }
 
 // TransportStats are the datagram-level counters of one UDP node: what
@@ -126,10 +133,11 @@ func NewUDPNode(cfg UDPNodeConfig) (*UDPNode, error) {
 		return nil, fmt.Errorf("realtime: %w", err)
 	}
 	u := &UDPNode{
-		conn:  conn,
-		peers: make(map[string]*net.UDPAddr),
-		tasks: make(chan task, 1024),
-		done:  make(chan struct{}),
+		conn:    conn,
+		peers:   make(map[string]*net.UDPAddr),
+		tasks:   make(chan task, 1024),
+		done:    make(chan struct{}),
+		stopped: make(chan struct{}),
 	}
 	for p2addr, udpAddr := range cfg.Peers {
 		ra, err := net.ResolveUDPAddr("udp", udpAddr)
@@ -190,7 +198,7 @@ func (u *UDPNode) armTimer(p *engine.Periodic) {
 		default:
 		}
 		select {
-		case u.tasks <- func() { u.node.HandleTimer(p) }:
+		case u.tasks <- task{at: time.Now(), run: func() { u.node.HandleTimer(p) }}:
 		case <-u.done:
 			return
 		}
@@ -204,7 +212,7 @@ func (u *UDPNode) armTimer(p *engine.Periodic) {
 // Inject hands a tuple to the node as a local event.
 func (u *UDPNode) Inject(t tuple.Tuple) error {
 	select {
-	case u.tasks <- func() { u.node.HandleLocal(t) }:
+	case u.tasks <- task{at: time.Now(), run: func() { u.node.HandleLocal(t) }}:
 		return nil
 	case <-u.done:
 		return fmt.Errorf("realtime: node stopped")
@@ -232,7 +240,7 @@ func (u *UDPNode) Start() {
 				continue
 			}
 			select {
-			case u.tasks <- func() { u.node.HandleMessage(env) }:
+			case u.tasks <- task{at: time.Now(), run: func() { u.node.HandleMessage(env) }}:
 			case <-u.done:
 				return
 			default: // overload: drop, UDP-style
@@ -243,6 +251,7 @@ func (u *UDPNode) Start() {
 	// Executor.
 	go func() {
 		defer u.wg.Done()
+		defer close(u.stopped)
 		sweep := time.NewTicker(time.Second)
 		defer sweep.Stop()
 		for {
@@ -250,12 +259,63 @@ func (u *UDPNode) Start() {
 			case <-u.done:
 				return
 			case t := <-u.tasks:
-				t()
+				observeTaskStart(u.node, t, len(u.tasks))
+				t.run()
 			case <-sweep.C:
 				u.node.Sweep()
 			}
 		}
 	}()
+}
+
+// MetricsSnapshot returns a consistent snapshot of the node's counters,
+// per-query bills and histograms; safe to call concurrently with a
+// running node (the read runs as a task on the executor goroutine,
+// mirroring Network.MetricsSnapshot).
+func (u *UDPNode) MetricsSnapshot() Stats {
+	read := func() Stats {
+		return Stats{
+			Node:    u.node.Metrics(),
+			Queries: u.node.QueryMetrics(),
+			Hists:   u.node.Hists(),
+		}
+	}
+	ch := make(chan Stats, 1)
+	select {
+	case u.tasks <- task{at: time.Now(), run: func() { ch <- read() }}:
+	case <-u.stopped:
+		return read()
+	}
+	select {
+	case s := <-ch:
+		return s
+	case <-u.stopped:
+		return read()
+	}
+}
+
+// ServeMetrics starts an HTTP listener exposing the node's counters in
+// Prometheus text format at /metrics (cmd/p2node -metrics-addr). Each
+// scrape takes a MetricsSnapshot, so scraping a live node is safe. The
+// returned address is the bound listen address (useful with port 0);
+// Stop closes the listener.
+func (u *UDPNode) ServeMetrics(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("realtime: metrics listener: %w", err)
+	}
+	u.mu.Lock()
+	u.metrics = ln
+	u.mu.Unlock()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s := u.MetricsSnapshot()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		metrics.WritePrometheus(w, u.node.Addr(), s.Node, s.Queries, &s.Hists) //nolint:errcheck // client gone
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // closed by Stop
+	return ln.Addr().String(), nil
 }
 
 // Stop closes the socket and waits for the goroutines.
@@ -267,5 +327,10 @@ func (u *UDPNode) Stop() {
 	}
 	close(u.done)
 	u.conn.Close()
+	u.mu.Lock()
+	if u.metrics != nil {
+		u.metrics.Close()
+	}
+	u.mu.Unlock()
 	u.wg.Wait()
 }

@@ -84,12 +84,12 @@ func heardOnB(b *UDPNode) bool {
 	// The injection above serializes behind any pending work; now read
 	// through another task to stay on the executor goroutine.
 	select {
-	case b.tasks <- func() {
+	case b.tasks <- task{at: time.Now(), run: func() {
 		n := 0
 		tb := b.node.Store().Get("heard")
 		tb.Scan(1e12, func(tuple.Tuple) { n++ })
 		res <- n > 0
-	}:
+	}}:
 	case <-b.done:
 		return false
 	}

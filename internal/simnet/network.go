@@ -79,7 +79,7 @@ type host struct {
 	idx       int32 // position in Network.byIdx; tags this host's events
 	node      *engine.Node
 	addr      string
-	queue     []func() float64
+	queue     []simTask
 	qhead     int // ring head: queue[:qhead] is consumed (and nil'd)
 	busyUntil float64
 	kickAt    float64 // time of the scheduled kick; <0 when none
@@ -416,20 +416,32 @@ func (n *Network) deliver(src *host, dst string, env engine.Envelope, at float64
 			lk.lastArrival = arrival
 		}
 		arr := arrival
+		sent := at
 		n.schedule(src, h, arr, func() {
 			if h.down {
 				h.dropped++
 				return
 			}
+			// The receiver observes the hop as the message lands: pure
+			// receiver-owned measurement, safe under the parallel driver
+			// and invisible to billing and determinism.
+			h.node.ObserveHop(arr - sent)
 			n.enqueue(h, func() float64 { return h.node.HandleMessage(env) }, arr)
 		})
 	}
 }
 
+// simTask is one queued CPU task plus the virtual time it entered the
+// queue, so task start can observe how long it waited (QueueWait).
+type simTask struct {
+	run func() float64
+	at  float64
+}
+
 // enqueue adds a CPU task to the host's run queue and kicks the server.
 // now is the virtual time of the stimulus (the executing event's time).
 func (n *Network) enqueue(h *host, task func() float64, now float64) {
-	h.queue = append(h.queue, task)
+	h.queue = append(h.queue, simTask{run: task, at: now})
 	n.kick(h, now)
 }
 
@@ -437,9 +449,9 @@ func (n *Network) enqueue(h *host, task func() float64, now float64) {
 // (head index plus compaction) rather than re-sliced away — a plain
 // h.queue = h.queue[1:] would pin every processed task closure in the
 // backing array for the host's lifetime.
-func (h *host) takeTask() func() float64 {
+func (h *host) takeTask() simTask {
 	task := h.queue[h.qhead]
-	h.queue[h.qhead] = nil
+	h.queue[h.qhead] = simTask{}
 	h.qhead++
 	if h.qhead == len(h.queue) {
 		h.queue = h.queue[:0]
@@ -478,8 +490,16 @@ func (n *Network) kick(h *host, now float64) {
 			h.clearQueue()
 			return
 		}
+		depth := len(h.queue) - h.qhead
 		task := h.takeTask()
-		cost := task()
+		// Queue-wait/depth observation at task start. Pure measurement:
+		// no billing, no RNG draws, no event-order effect.
+		wait := now - task.at
+		if wait < 0 {
+			wait = 0
+		}
+		h.node.ObserveQueueWait(wait, depth)
+		cost := task.run()
 		h.busyUntil = now + cost
 		if h.busyUntil > now && h.qhead < len(h.queue) {
 			// Still busy: resume when the CPU frees up.

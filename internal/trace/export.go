@@ -1,0 +1,243 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"p2go/internal/table"
+	"p2go/internal/tuple"
+)
+
+// Chrome trace-event export: walks the causal trace state the tracer
+// maintains — ruleExec rows for rule activations, tupleTable rows for
+// cross-node tuple provenance — and renders it in the Chrome
+// trace-event JSON format (the chrome://tracing / Perfetto "JSON Array
+// with metadata" flavour). Each node becomes one process, each rule one
+// named thread within it, each traced activation a complete ("X")
+// event, and each tuple that crossed nodes a flow arrow ("s"/"f") from
+// the activation that produced it to the first activation that consumed
+// it on the receiving node.
+//
+// The export is a pure read of the trace tables: what aged out of
+// ruleExec (TTL or eviction) is gone from the trace too, exactly as
+// §3.4's bounded-resource tracing intends.
+
+// ExportNode is one node's view handed to ExportChrome: its address,
+// its table store (holding ruleExec and tupleTable), and the virtual
+// time to scan the tables at (rows expired by Now are excluded).
+type ExportNode struct {
+	Addr  string
+	Store *table.Store
+	Now   float64
+}
+
+// ChromeStats summarizes an export, so callers (and tests) can assert
+// the trace is non-trivial without re-parsing it.
+type ChromeStats struct {
+	// RuleExecs counts traced activations exported as complete events.
+	RuleExecs int
+	// Flows counts cross-node flow arrows.
+	Flows int
+	// FlowNodes lists the distinct node addresses participating in at
+	// least one flow, sorted.
+	FlowNodes []string
+}
+
+// chromeEvent is one trace-event object. Field order (struct order)
+// and struct-based marshaling keep the output byte-stable.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   int            `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// execRow is one decoded ruleExec row.
+type execRow struct {
+	rule      string
+	inID      uint64
+	outID     uint64
+	inT, outT float64
+	isEvent   bool
+	pid, tid  int
+}
+
+// ExportChrome walks every node's ruleExec and tupleTable rows and
+// writes one Chrome trace-event JSON document to w. Output is
+// deterministic for equal table contents: nodes sort by address, rows
+// by time then content, and flow IDs are assigned in that order.
+func ExportChrome(w io.Writer, nodes []ExportNode) (ChromeStats, error) {
+	sorted := append([]ExportNode(nil), nodes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Addr < sorted[j].Addr })
+
+	var events []chromeEvent
+	var stats ChromeStats
+
+	// Indexes for flow resolution: per node, which row produced a tuple
+	// ID (outIndex) and which row first consumed it (inIndex).
+	outIndex := make(map[string]map[uint64]*execRow)
+	inIndex := make(map[string]map[uint64]*execRow)
+
+	for ni, en := range sorted {
+		pid := ni + 1
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": en.Addr},
+		})
+		var rows []*execRow
+		if tb := en.Store.Get(RuleExecTable); tb != nil {
+			tb.Scan(en.Now, func(t tuple.Tuple) {
+				if t.Arity() < 7 {
+					return
+				}
+				rows = append(rows, &execRow{
+					rule:    t.Field(1).AsStr(),
+					inID:    t.Field(2).AsID(),
+					outID:   t.Field(3).AsID(),
+					inT:     t.Field(4).AsFloat(),
+					outT:    t.Field(5).AsFloat(),
+					isEvent: t.Field(6).AsBool(),
+					pid:     pid,
+				})
+			})
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			a, b := rows[i], rows[j]
+			if a.inT != b.inT {
+				return a.inT < b.inT
+			}
+			if a.outT != b.outT {
+				return a.outT < b.outT
+			}
+			if a.rule != b.rule {
+				return a.rule < b.rule
+			}
+			if a.inID != b.inID {
+				return a.inID < b.inID
+			}
+			return a.outID < b.outID
+		})
+		// One named thread per rule, in sorted rule order.
+		ruleTid := make(map[string]int)
+		ruleNames := make(map[string]bool)
+		for _, r := range rows {
+			ruleNames[r.rule] = true
+		}
+		names := make([]string, 0, len(ruleNames))
+		for name := range ruleNames {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for i, name := range names {
+			ruleTid[name] = i + 1
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: i + 1,
+				Args: map[string]any{"name": name},
+			})
+		}
+		for _, r := range rows {
+			r.tid = ruleTid[r.rule]
+			if r.isEvent {
+				dur := (r.outT - r.inT) * 1e6
+				if dur < 0 {
+					dur = 0
+				}
+				events = append(events, chromeEvent{
+					Name: r.rule, Ph: "X", Ts: r.inT * 1e6, Dur: dur,
+					Pid: pid, Tid: r.tid,
+					Args: map[string]any{"in": r.inID, "out": r.outID},
+				})
+				stats.RuleExecs++
+			}
+			// Index every row (event and precondition links alike): a
+			// tuple may be produced by one and consumed by another.
+			oi := outIndex[en.Addr]
+			if oi == nil {
+				oi = make(map[uint64]*execRow)
+				outIndex[en.Addr] = oi
+			}
+			if _, ok := oi[r.outID]; !ok {
+				oi[r.outID] = r
+			}
+			ii := inIndex[en.Addr]
+			if ii == nil {
+				ii = make(map[uint64]*execRow)
+				inIndex[en.Addr] = ii
+			}
+			if _, ok := ii[r.inID]; !ok {
+				ii[r.inID] = r // rows sorted by time: first consumer wins
+			}
+		}
+	}
+
+	// Flow arrows: every tupleTable row whose provenance names another
+	// node links the producing activation there to the first consuming
+	// activation here.
+	flowID := 0
+	flowNodes := make(map[string]bool)
+	for _, en := range sorted {
+		tb := en.Store.Get(TupleTable)
+		if tb == nil {
+			continue
+		}
+		type hop struct {
+			id    uint64
+			src   string
+			srcID uint64
+		}
+		var hops []hop
+		tb.Scan(en.Now, func(t tuple.Tuple) {
+			if t.Arity() < 5 {
+				return
+			}
+			src := t.Field(2).AsStr()
+			if src == "" || src == en.Addr {
+				return // local tuple: no hop
+			}
+			hops = append(hops, hop{id: t.Field(1).AsID(), src: src, srcID: t.Field(3).AsID()})
+		})
+		sort.Slice(hops, func(i, j int) bool { return hops[i].id < hops[j].id })
+		for _, hp := range hops {
+			producer := outIndex[hp.src][hp.srcID]
+			consumer := inIndex[en.Addr][hp.id]
+			if producer == nil || consumer == nil {
+				continue // one end aged out of ruleExec
+			}
+			flowID++
+			events = append(events, chromeEvent{
+				Name: "tuple", Ph: "s", Ts: producer.outT * 1e6,
+				Pid: producer.pid, Tid: producer.tid, ID: flowID,
+			})
+			events = append(events, chromeEvent{
+				Name: "tuple", Ph: "f", Ts: consumer.inT * 1e6,
+				Pid: consumer.pid, Tid: consumer.tid, ID: flowID, BP: "e",
+			})
+			stats.Flows++
+			flowNodes[hp.src] = true
+			flowNodes[en.Addr] = true
+		}
+	}
+	stats.FlowNodes = make([]string, 0, len(flowNodes))
+	for a := range flowNodes {
+		stats.FlowNodes = append(stats.FlowNodes, a)
+	}
+	sort.Strings(stats.FlowNodes)
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
