@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test check cover bench bench-smoke bench-churn bench-lifecycle bench-trace bench-profiler fuzz examples tidy
+.PHONY: build test check cover bench bench-smoke bench-churn bench-lifecycle bench-trace bench-profiler bench-agg fuzz examples tidy
 
 build:
 	go build ./...
@@ -51,6 +51,12 @@ bench-trace:
 # publication off vs on; writes BENCH_profiler.json.
 bench-profiler:
 	go run ./cmd/p2bench -exp profiler -json
+
+# Incremental aggregate maintenance: per-delta rescans vs O(delta)
+# accumulators over a churning table, plus the 4-way determinism matrix;
+# writes BENCH_agg.json.
+bench-agg:
+	go run ./cmd/p2bench -exp agg -json
 
 fuzz:
 	go test -run '^$$' -fuzz FuzzUnmarshal -fuzztime 30s ./internal/tuple/

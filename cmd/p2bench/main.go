@@ -174,6 +174,22 @@ func main() {
 				log.Fatal("per-query accounting invariant violated")
 			}
 			payload = res
+		case "agg":
+			res, err := bench.AggMaintenance(*seed, *quick)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(bench.FormatAgg(res))
+			if !res.EmissionsIdentical {
+				log.Fatalf("agg contract violated: %s", res.Divergence)
+			}
+			if res.Speedup < 2 {
+				log.Fatalf("agg contract violated: incremental maintenance only %.2fx faster than rescans, want >=2x", res.Speedup)
+			}
+			if res.AccountingErr != "" {
+				log.Fatal("per-query accounting invariant violated")
+			}
+			payload = res
 		case "scenario":
 			if *scenario == "" {
 				log.Fatal("-exp scenario needs -scenario <file>")

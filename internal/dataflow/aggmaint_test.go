@@ -1,0 +1,290 @@
+package dataflow
+
+import (
+	"testing"
+
+	"p2go/internal/overlog"
+	"p2go/internal/table"
+	"p2go/internal/tuple"
+)
+
+// aggCtx is a fakeCtx that can hand out a persistent accumulator, the
+// way the engine does for maintainable strands.
+type aggCtx struct {
+	fakeCtx
+	am          *AggMaint
+	incremental bool
+}
+
+func (c *aggCtx) AggState(*Strand) *AggMaint {
+	if c.incremental {
+		return c.am
+	}
+	return nil
+}
+
+// countStrand hand-rolls the compiled form of
+//
+//	out@N(count<*>) :- tab@N(A, B).
+//
+// as a delta strand: the trigger binds only the group var N; Ops[0] is
+// the rescan join of tab itself.
+func countStrand() *Strand {
+	s := &Strand{
+		RuleID:  "agg1",
+		Trigger: Trigger{Kind: TriggerDelta, Name: "tab", FieldSlots: []int{0, -1, -1}, FieldConsts: make([]tuple.Value, 3)},
+		NumVars: 3, VarNames: []string{"N", "A", "B"},
+		Ops: []Op{
+			&JoinOp{Table: "tab", Stage: 1, FieldSlots: []int{0, 1, 2}, FieldConsts: make([]tuple.Value, 3)},
+		},
+		HeadName: "out",
+		HeadArgs: []overlog.Expr{&overlog.Var{Name: "N"}, &overlog.Agg{Op: "count"}},
+		Agg:      &AggSpec{Op: "count", Slot: -1, ArgIndex: 1, EmitZero: true},
+		AggPlan:  &AggPlan{Primary: "tab", Filter: []AggFilterPos{{GroupIdx: 0, Slot: 0}}},
+		Stages:   1,
+	}
+	return s
+}
+
+// minStrand: out@N(min<B>) :- tab@N(A, B).
+func minStrand() *Strand {
+	s := countStrand()
+	s.HeadArgs = []overlog.Expr{&overlog.Var{Name: "N"}, &overlog.Agg{Op: "min", Var: "B"}}
+	s.Agg = &AggSpec{Op: "min", Slot: 2, ArgIndex: 1}
+	return s
+}
+
+func row(n string, a, b int64) tuple.Tuple {
+	return tuple.New("tab", tuple.Str(n), tuple.Int(a), tuple.Int(b))
+}
+
+// runBoth triggers the strand in rescan then incremental mode and
+// demands byte-identical emissions, returning them.
+func runBoth(t *testing.T, ctx *aggCtx, s *Strand, trig tuple.Tuple) []tuple.Tuple {
+	t.Helper()
+	ctx.heads = nil
+	ctx.incremental = false
+	s.Run(ctx, trig)
+	want := ctx.heads
+	ctx.heads = nil
+	ctx.incremental = true
+	s.Run(ctx, trig)
+	got := ctx.heads
+	if len(got) != len(want) {
+		t.Fatalf("incremental emitted %v, rescan %v", got, want)
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("emission %d: incremental %v, rescan %v", i, got[i], want[i])
+		}
+	}
+	return got
+}
+
+func newAggCtx(t *testing.T, s *Strand, lifetime float64) (*aggCtx, *table.Table) {
+	t.Helper()
+	// These tests exercise the incremental machinery itself; pin the
+	// kill switch off so they stay meaningful under the CI job that
+	// sets P2GO_DISABLE_INCREMENTAL_AGGS for the rest of the suite.
+	prev := DisableIncrementalAggs
+	DisableIncrementalAggs = false
+	t.Cleanup(func() { DisableIncrementalAggs = prev })
+	store := table.NewStore()
+	tb, err := store.Materialize(table.Spec{Name: "tab", Lifetime: lifetime,
+		MaxSize: table.Infinity, Keys: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &aggCtx{fakeCtx: fakeCtx{store: store}, am: NewAggMaint(s)}
+	// The engine's listener wiring, minus billing.
+	tb.Subscribe(func(op table.Op, tu tuple.Tuple) { ctx.am.Apply(ctx, op, tu) })
+	return ctx, tb
+}
+
+func TestAggMaintCountInsertDelete(t *testing.T) {
+	s := countStrand()
+	ctx, tb := newAggCtx(t, s, table.Infinity)
+	trig := row("n1", 0, 0)
+
+	// Empty table: EmitZero path.
+	got := runBoth(t, ctx, s, trig)
+	if len(got) != 1 || !got[0].Equal(tuple.New("out", tuple.Str("n1"), tuple.Int(0))) {
+		t.Fatalf("empty-table emission = %v", got)
+	}
+
+	tb.Insert(row("n1", 1, 10), 0) //nolint:errcheck
+	tb.Insert(row("n1", 2, 20), 0) //nolint:errcheck
+	tb.Insert(row("n2", 3, 30), 0) //nolint:errcheck
+	got = runBoth(t, ctx, s, trig)
+	// The trigger binds N=n1: only n1's group passes the filter.
+	if len(got) != 1 || !got[0].Equal(tuple.New("out", tuple.Str("n1"), tuple.Int(2))) {
+		t.Fatalf("count = %v", got)
+	}
+
+	// Incremental updates after the rebuild: insert and key-delete.
+	tb.Insert(row("n1", 4, 40), 0) //nolint:errcheck
+	tb.Delete(row("n1", 1, 10), 0) //nolint:errcheck
+	got = runBoth(t, ctx, s, trig)
+	if len(got) != 1 || !got[0].Equal(tuple.New("out", tuple.Str("n1"), tuple.Int(2))) {
+		t.Fatalf("count after churn = %v", got)
+	}
+
+	// Other group via its own trigger binding.
+	got = runBoth(t, ctx, s, row("n2", 0, 0))
+	if len(got) != 1 || !got[0].Equal(tuple.New("out", tuple.Str("n2"), tuple.Int(1))) {
+		t.Fatalf("n2 count = %v", got)
+	}
+}
+
+func TestAggMaintMinDeletionExact(t *testing.T) {
+	s := minStrand()
+	ctx, tb := newAggCtx(t, s, table.Infinity)
+	trig := row("n1", 0, 0)
+
+	tb.Insert(row("n1", 1, 30), 0) //nolint:errcheck
+	tb.Insert(row("n1", 2, 10), 0) //nolint:errcheck
+	tb.Insert(row("n1", 3, 20), 0) //nolint:errcheck
+	got := runBoth(t, ctx, s, trig)
+	if len(got) != 1 || !got[0].Equal(tuple.New("out", tuple.Str("n1"), tuple.Int(10))) {
+		t.Fatalf("min = %v", got)
+	}
+
+	// Deleting the current minimum must resurface the next one — the
+	// case an add-subtract accumulator cannot handle.
+	tb.Delete(row("n1", 2, 10), 0) //nolint:errcheck
+	got = runBoth(t, ctx, s, trig)
+	if len(got) != 1 || !got[0].Equal(tuple.New("out", tuple.Str("n1"), tuple.Int(20))) {
+		t.Fatalf("min after extremum deletion = %v", got)
+	}
+
+	// Empty group: min emits nothing in either mode.
+	tb.Delete(row("n1", 1, 30), 0) //nolint:errcheck
+	tb.Delete(row("n1", 3, 20), 0) //nolint:errcheck
+	got = runBoth(t, ctx, s, trig)
+	if len(got) != 0 {
+		t.Fatalf("empty min emission = %v", got)
+	}
+}
+
+func TestAggMaintTTLExpiry(t *testing.T) {
+	s := countStrand()
+	ctx, tb := newAggCtx(t, s, 10) // 10s lifetime
+	trig := row("n1", 0, 0)
+
+	tb.Insert(row("n1", 1, 10), 0) //nolint:errcheck
+	tb.Insert(row("n1", 2, 20), 5) //nolint:errcheck
+	got := runBoth(t, ctx, s, trig)
+	if len(got) != 1 || !got[0].Equal(tuple.New("out", tuple.Str("n1"), tuple.Int(2))) {
+		t.Fatalf("count = %v", got)
+	}
+
+	// At t=12 the first row has expired; runTrigger's Expire call must
+	// stream the expiry through the listener into the accumulator.
+	ctx.now = 12
+	got = runBoth(t, ctx, s, trig)
+	if len(got) != 1 || !got[0].Equal(tuple.New("out", tuple.Str("n1"), tuple.Int(1))) {
+		t.Fatalf("count after expiry = %v", got)
+	}
+
+	// All rows gone: count 0 via EmitZero.
+	ctx.now = 20
+	got = runBoth(t, ctx, s, trig)
+	if len(got) != 1 || !got[0].Equal(tuple.New("out", tuple.Str("n1"), tuple.Int(0))) {
+		t.Fatalf("count after full expiry = %v", got)
+	}
+}
+
+func TestAggMaintClearInvalidates(t *testing.T) {
+	s := countStrand()
+	ctx, tb := newAggCtx(t, s, table.Infinity)
+	trig := row("n1", 0, 0)
+
+	tb.Insert(row("n1", 1, 10), 0) //nolint:errcheck
+	runBoth(t, ctx, s, trig)
+	if !ctx.am.Valid() {
+		t.Fatal("accumulator must be valid after a trigger")
+	}
+	tb.Clear()
+	if ctx.am.Valid() {
+		t.Fatal("bulk clear must invalidate the accumulator")
+	}
+	tb.Insert(row("n1", 5, 50), 0) //nolint:errcheck
+	got := runBoth(t, ctx, s, trig)
+	if len(got) != 1 || !got[0].Equal(tuple.New("out", tuple.Str("n1"), tuple.Int(1))) {
+		t.Fatalf("count after clear+rebuild = %v", got)
+	}
+}
+
+// nullCtx is an allocation-free Context for the activation benchmarks.
+type nullCtx struct {
+	store *table.Store
+	heads int
+}
+
+func (c *nullCtx) Now() float64                        { return 0 }
+func (c *nullCtx) Rand64() uint64                      { return 4 }
+func (c *nullCtx) LocalAddr() string                   { return "n1" }
+func (c *nullCtx) Table(name string) *table.Table      { return c.store.Get(name) }
+func (c *nullCtx) Bill(float64)                        {}
+func (c *nullCtx) AggState(*Strand) *AggMaint          { return nil }
+func (c *nullCtx) EmitHead(*Strand, tuple.Tuple, bool) { c.heads++ }
+func (c *nullCtx) TraceInput(*Strand, tuple.Tuple)     {}
+func (c *nullCtx) TracePrecond(*Strand, int, tuple.Tuple) {
+}
+func (c *nullCtx) TraceStageDone(*Strand, int) {}
+func (c *nullCtx) RuleError(ruleID string, err error) {
+	panic(err)
+}
+
+func benchSetup(b testing.TB, indexed bool) (*nullCtx, *Strand, tuple.Tuple) {
+	b.Helper()
+	store := table.NewStore()
+	tb, err := store.Materialize(table.Spec{Name: "tab", Lifetime: table.Infinity,
+		MaxSize: table.Infinity, Keys: []int{1, 2, 3}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := int64(0); i < 64; i++ {
+		tb.Insert(tuple.New("tab", tuple.Str("n1"), tuple.Int(i%8), tuple.Int(i)), 0) //nolint:errcheck
+	}
+	s := joinStrand()
+	s.Ops[1] = &CondOp{Expr: &overlog.Binary{Op: "<", L: &overlog.Var{Name: "B"}, R: &overlog.Lit{Val: tuple.Int(0)}}}
+	op := s.Ops[0].(*JoinOp)
+	if indexed {
+		op.IndexPositions = []int{0, 1}
+		tb.EnsureIndex(op.IndexPositions)
+	}
+	return &nullCtx{store: store}, s, tuple.New("ev", tuple.Str("n1"), tuple.Int(3))
+}
+
+// The activation path itself must not allocate: the binding frame and
+// the index-probe slice come from strand-owned scratch (the per-trigger
+// make(Binding) and make([]tuple.Value) this PR removed).
+func TestStrandActivationAllocs(t *testing.T) {
+	for _, indexed := range []bool{false, true} {
+		ctx, s, trig := benchSetup(t, indexed)
+		s.Run(ctx, trig) // warm up scratch buffers
+		allocs := testing.AllocsPerRun(100, func() { s.Run(ctx, trig) })
+		if allocs != 0 {
+			t.Errorf("indexed=%v: %v allocs per activation, want 0", indexed, allocs)
+		}
+	}
+}
+
+func BenchmarkStrandActivationScan(b *testing.B) {
+	ctx, s, trig := benchSetup(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(ctx, trig)
+	}
+}
+
+func BenchmarkStrandActivationIndexed(b *testing.B) {
+	ctx, s, trig := benchSetup(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(ctx, trig)
+	}
+}

@@ -34,6 +34,15 @@ type Context interface {
 	// Bill charges cost seconds of simulated CPU work to the node.
 	Bill(seconds float64)
 
+	// AggState returns the persistent incremental accumulator for a
+	// strand the planner marked maintainable (s.AggPlan != nil), or nil
+	// to force the per-activation rescan path. The engine owns the
+	// accumulator's lifecycle: it wires the table listeners that keep it
+	// current and tears it down on UninstallQuery. Contexts without
+	// accumulator support (tests, tracing-enabled nodes that need full
+	// precondition provenance) simply return nil.
+	AggState(s *Strand) *AggMaint
+
 	// Tracer taps (no-ops when execution logging is off). The output
 	// tap lives inside EmitHead: the node assigns the head tuple its
 	// node-unique ID there, which the tracer needs.
@@ -165,8 +174,52 @@ type Strand struct {
 	IsDelete bool
 	// Agg is non-nil for aggregate rules.
 	Agg *AggSpec
+	// AggPlan is non-nil when the planner proved the aggregate eligible
+	// for incremental maintenance (see planner's analyzeAggMaint).
+	AggPlan *AggPlan
 	// Stages is the number of stateful (join) stages.
 	Stages int
+
+	// Per-strand scratch buffers. Strands are node-local and each node
+	// is single-threaded, so a buffer can be reused across activations;
+	// the busy flags fall back to allocation on re-entrant activations
+	// (a strand re-entered through a table-listener cascade).
+	bindScratch  Binding
+	bindBusy     bool
+	bindLookup   overlog.Lookup
+	probeScratch [][]tuple.Value
+	probeBusy    []bool
+	undoScratch  [][]int
+	undoBusy     []bool
+}
+
+// AggPlan is the planner's incremental-maintenance analysis for an
+// eligible aggregate strand: the aggregate over the full body product is
+// trigger-independent, so a persistent per-group accumulator fed by the
+// primary table's change listeners replaces the per-activation rescan.
+type AggPlan struct {
+	// Primary is the table joined by Ops[0]; its insert/delete/expiry
+	// notifications maintain the accumulator in O(delta).
+	Primary string
+	// Secondaries are the other joined tables (deduplicated). Any
+	// change to one invalidates the accumulator, which is rebuilt by a
+	// single rescan on the next trigger.
+	Secondaries []string
+	// Filter lists (group index, trigger slot) pairs: at emission time
+	// only groups whose group value at GroupIdx equals the trigger
+	// binding's value at Slot are emitted — the maintained equivalent
+	// of the rescan's trigger-bound join constraints.
+	Filter []AggFilterPos
+}
+
+// AggFilterPos is one emission-time group filter position.
+type AggFilterPos struct {
+	// GroupIdx indexes the group values (head args minus the aggregate
+	// position, in order).
+	GroupIdx int
+	// Slot is the trigger-bound variable slot the group value must
+	// equal.
+	Slot int
 }
 
 // String identifies the strand.
@@ -200,26 +253,72 @@ const (
 	CostMarshal      = 50e-6   // marshal or unmarshal one tuple
 	CostTraceTap     = 25e-6   // tracer tap + log-table bookkeeping (when tracing on)
 	CostStatsPublish = 30e-6   // snapshotting the counters for one stats publication
+	CostAggApply     = 20e-6   // incremental accumulator update for one table delta
+	CostAggEmit      = 25e-6   // accumulator lookup + group filter per trigger
 )
+
+// completion receives each fully bound pipeline result: nil means emit a
+// head per binding; aggState folds bindings into per-activation groups;
+// aggCollector (aggmaint.go) records contributions into the persistent
+// accumulator.
+type completion interface {
+	complete(s *Strand, ctx Context, b Binding)
+}
+
+func (a *aggState) complete(s *Strand, ctx Context, b Binding) { s.accumulate(ctx, b, a) }
+
+// acquireBinding returns a zeroed binding frame, reusing the strand's
+// scratch frame when it is free. pooled reports whether the scratch was
+// taken (the caller must clear bindBusy when done).
+func (s *Strand) acquireBinding() (b Binding, pooled bool) {
+	if s.bindBusy {
+		return make(Binding, s.NumVars), false
+	}
+	if cap(s.bindScratch) < s.NumVars {
+		s.bindScratch = make(Binding, s.NumVars)
+		scratch := s.bindScratch
+		s.bindLookup = scratch.lookup(s)
+	}
+	b = s.bindScratch[:s.NumVars]
+	for i := range b {
+		b[i] = tuple.Nil
+	}
+	s.bindBusy = true
+	return b, true
+}
 
 // Run executes one activation of the strand for the triggering tuple.
 // The caller (engine.Node) has already matched trig.Name.
 func (s *Strand) Run(ctx Context, trig tuple.Tuple) {
 	ctx.Bill(CostTupleHandoff)
-	b := make(Binding, s.NumVars)
+	b, pooled := s.acquireBinding()
+	s.run(ctx, trig, b)
+	if pooled {
+		s.bindBusy = false
+	}
+}
+
+func (s *Strand) run(ctx Context, trig tuple.Tuple, b Binding) {
 	if !bindFields(b, trig, s.Trigger.FieldSlots, s.Trigger.FieldConsts, nil) {
 		return // trigger constants or self-unification failed
 	}
 	ctx.TraceInput(s, trig)
 
 	var agg *aggState
+	var am *AggMaint
+	var zero []tuple.Value
 	if s.Agg != nil {
-		agg = newAggState(s)
+		if s.AggPlan != nil && !DisableIncrementalAggs {
+			am = ctx.AggState(s)
+		}
+		if am == nil {
+			agg = newAggState(s)
+		}
 		if s.Agg.EmitZero {
 			// Pre-evaluate the group-by values from the trigger
 			// binding so an empty activation can emit count 0.
-			lookup := b.lookup(s)
-			zero := make([]tuple.Value, 0, len(s.HeadArgs)-1)
+			lookup := s.lookupFor(b)
+			zero = make([]tuple.Value, 0, len(s.HeadArgs)-1)
 			for i, e := range s.HeadArgs {
 				if i == s.Agg.ArgIndex {
 					continue
@@ -231,14 +330,26 @@ func (s *Strand) Run(ctx Context, trig tuple.Tuple) {
 				}
 				zero = append(zero, v)
 			}
-			agg.zeroGroup = zero
+			if agg != nil {
+				agg.zeroGroup = zero
+			}
 		}
 	}
-	s.exec(ctx, b, 0, agg)
-	// Aggregates emit before the completion signals: the output tap
-	// must observe them while the tracer record is still associated.
-	if agg != nil {
-		s.flushAgg(ctx, agg)
+	if am != nil {
+		// Incremental path: no rescan; emit from the maintained
+		// accumulator (O(groups), not O(rows)).
+		am.runTrigger(ctx, b, zero)
+	} else {
+		var done completion
+		if agg != nil {
+			done = agg
+		}
+		s.exec(ctx, b, 0, done)
+		// Aggregates emit before the completion signals: the output tap
+		// must observe them while the tracer record is still associated.
+		if agg != nil {
+			s.flushAgg(ctx, agg)
+		}
 	}
 	// Signal stage completions in pull order: the first stateful
 	// element seeks a new input first, then each later stage drains and
@@ -249,11 +360,47 @@ func (s *Strand) Run(ctx Context, trig tuple.Tuple) {
 	}
 }
 
-// exec runs ops[i:] under binding b, emitting heads at the end.
-func (s *Strand) exec(ctx Context, b Binding, i int, agg *aggState) {
+// acquireProbe returns the index-probe value buffer for op i, reusing
+// per-op scratch when free (pooled reports scratch use; the caller must
+// clear probeBusy[i] when done). Per-op buffers are required: a nested
+// activation of the same strand from inside a probe callback must not
+// clobber the slice MatchIndexed is still reading.
+func (s *Strand) acquireProbe(i, n int) (vals []tuple.Value, pooled bool) {
+	if s.probeScratch == nil {
+		s.probeScratch = make([][]tuple.Value, len(s.Ops))
+		s.probeBusy = make([]bool, len(s.Ops))
+	}
+	if s.probeBusy[i] {
+		return make([]tuple.Value, n), false
+	}
+	if cap(s.probeScratch[i]) < n {
+		s.probeScratch[i] = make([]tuple.Value, n)
+	}
+	s.probeBusy[i] = true
+	return s.probeScratch[i][:n], true
+}
+
+// acquireUndo returns the backtracking undo buffer for op i (same
+// pooling discipline as acquireProbe; pooled=false falls back to append
+// allocation on re-entrant activations).
+func (s *Strand) acquireUndo(i int) (undo []int, pooled bool) {
+	if s.undoScratch == nil {
+		s.undoScratch = make([][]int, len(s.Ops))
+		s.undoBusy = make([]bool, len(s.Ops))
+	}
+	if s.undoBusy[i] {
+		return nil, false
+	}
+	s.undoBusy[i] = true
+	return s.undoScratch[i][:0], true
+}
+
+// exec runs ops[i:] under binding b, passing each completed binding to
+// done (or emitting a head when done is nil).
+func (s *Strand) exec(ctx Context, b Binding, i int, done completion) {
 	if i == len(s.Ops) {
-		if agg != nil {
-			s.accumulate(ctx, b, agg)
+		if done != nil {
+			done.complete(s, ctx, b)
 			return
 		}
 		s.emit(ctx, b)
@@ -267,18 +414,25 @@ func (s *Strand) exec(ctx Context, b Binding, i int, agg *aggState) {
 			return
 		}
 		ctx.Bill(CostJoinSetup)
+		undo, undoPooled := s.acquireUndo(i)
 		probe := func(row tuple.Tuple) {
-			var undo []int
+			undo = undo[:0]
 			if !bindFields(b, row, op.FieldSlots, op.FieldConsts, &undo) {
 				unbind(b, undo)
 				return
 			}
 			ctx.TracePrecond(s, op.Stage, row)
-			s.exec(ctx, b, i+1, agg)
+			s.exec(ctx, b, i+1, done)
 			unbind(b, undo)
 		}
+		defer func() {
+			if undoPooled {
+				s.undoScratch[i] = undo[:0] // keep any growth
+				s.undoBusy[i] = false
+			}
+		}()
 		if len(op.IndexPositions) > 0 && !DisableIndexedJoins {
-			values := make([]tuple.Value, len(op.IndexPositions))
+			values, pooled := s.acquireProbe(i, len(op.IndexPositions))
 			ok := true
 			for k, p := range op.IndexPositions {
 				if c := op.FieldConsts[p]; !c.IsNil() {
@@ -287,7 +441,11 @@ func (s *Strand) exec(ctx Context, b Binding, i int, agg *aggState) {
 				}
 				v := b[op.FieldSlots[p]]
 				if v.IsNil() {
-					ok = false // should not happen: planner guarantees boundness
+					// A statically bound slot can be unbound at run
+					// time when the pipeline runs without its trigger
+					// binding (accumulator rebuilds); fall back to the
+					// scan path below.
+					ok = false
 					break
 				}
 				values[k] = v
@@ -295,35 +453,56 @@ func (s *Strand) exec(ctx Context, b Binding, i int, agg *aggState) {
 			if ok {
 				visited := tb.MatchIndexed(ctx.Now(), op.IndexPositions, values, probe)
 				ctx.Bill(float64(visited) * CostJoinProbe)
+				if pooled {
+					s.probeBusy[i] = false
+				}
 				return
 			}
+			if pooled {
+				s.probeBusy[i] = false
+			}
 		}
+		// Unindexed fallback: bill per-probe cost the same way the
+		// indexed path does — once for the visited count, after the
+		// scan.
+		visited := 0
 		tb.Scan(ctx.Now(), func(row tuple.Tuple) {
-			ctx.Bill(CostJoinProbe)
+			visited++
 			probe(row)
 		})
+		ctx.Bill(float64(visited) * CostJoinProbe)
 	case *CondOp:
 		ctx.Bill(CostEval)
-		v, err := overlog.Eval(op.Expr, b.lookup(s), ctx)
+		v, err := overlog.Eval(op.Expr, s.lookupFor(b), ctx)
 		if err != nil {
 			ctx.RuleError(s.RuleID, err)
 			return
 		}
 		if v.Truth() {
-			s.exec(ctx, b, i+1, agg)
+			s.exec(ctx, b, i+1, done)
 		}
 	case *AssignOp:
 		ctx.Bill(CostEval)
-		v, err := overlog.Eval(op.Expr, b.lookup(s), ctx)
+		v, err := overlog.Eval(op.Expr, s.lookupFor(b), ctx)
 		if err != nil {
 			ctx.RuleError(s.RuleID, err)
 			return
 		}
 		old := b[op.Slot]
 		b[op.Slot] = v
-		s.exec(ctx, b, i+1, agg)
+		s.exec(ctx, b, i+1, done)
 		b[op.Slot] = old
 	}
+}
+
+// lookupFor returns the expression-evaluator view of b, reusing the
+// closure cached alongside the pooled scratch frame (per-evaluation
+// closure allocation is measurable on the join hot path).
+func (s *Strand) lookupFor(b Binding) overlog.Lookup {
+	if len(b) > 0 && len(s.bindScratch) > 0 && &b[0] == &s.bindScratch[0] {
+		return s.bindLookup
+	}
+	return b.lookup(s)
 }
 
 // lookup adapts a binding to the expression evaluator.
@@ -383,7 +562,7 @@ func unbind(b Binding, undo []int) {
 func (s *Strand) emit(ctx Context, b Binding) {
 	ctx.Bill(CostHead)
 	fields := make([]tuple.Value, len(s.HeadArgs))
-	lookup := b.lookup(s)
+	lookup := s.lookupFor(b)
 	for i, e := range s.HeadArgs {
 		if s.IsDelete {
 			// Delete heads allow unbound variables as wildcards.
@@ -426,11 +605,12 @@ func newAggState(*Strand) *aggState {
 	return &aggState{groups: make(map[uint64]*aggGroup)}
 }
 
-// accumulate folds one completed binding into its group.
-func (s *Strand) accumulate(ctx Context, b Binding, agg *aggState) {
-	ctx.Bill(CostEval)
-	lookup := b.lookup(s)
-	groupVals := make([]tuple.Value, 0, len(s.HeadArgs)-1)
+// evalGroup evaluates the group-by values (head args minus the aggregate
+// position) for a completed binding, with their grouping key. ok=false
+// means an evaluation error was reported and the binding is dropped.
+func (s *Strand) evalGroup(ctx Context, b Binding) (groupVals []tuple.Value, key uint64, ok bool) {
+	lookup := s.lookupFor(b)
+	groupVals = make([]tuple.Value, 0, len(s.HeadArgs)-1)
 	for i, e := range s.HeadArgs {
 		if i == s.Agg.ArgIndex {
 			continue
@@ -438,11 +618,20 @@ func (s *Strand) accumulate(ctx Context, b Binding, agg *aggState) {
 		v, err := overlog.Eval(e, lookup, ctx)
 		if err != nil {
 			ctx.RuleError(s.RuleID, err)
-			return
+			return nil, 0, false
 		}
 		groupVals = append(groupVals, v)
 	}
-	key := tuple.New("", groupVals...).Hash()
+	return groupVals, tuple.New("", groupVals...).Hash(), true
+}
+
+// accumulate folds one completed binding into its group.
+func (s *Strand) accumulate(ctx Context, b Binding, agg *aggState) {
+	ctx.Bill(CostEval)
+	groupVals, key, ok := s.evalGroup(ctx, b)
+	if !ok {
+		return
+	}
 	g, ok := agg.groups[key]
 	if !ok {
 		g = &aggGroup{groupVals: groupVals}

@@ -25,6 +25,7 @@ func (c *fakeCtx) Rand64() uint64                 { return 4 }
 func (c *fakeCtx) LocalAddr() string              { return "n1" }
 func (c *fakeCtx) Table(name string) *table.Table { return c.store.Get(name) }
 func (c *fakeCtx) Bill(float64)                   {}
+func (c *fakeCtx) AggState(*Strand) *AggMaint     { return nil }
 func (c *fakeCtx) EmitHead(s *Strand, t tuple.Tuple, isDelete bool) {
 	if isDelete {
 		c.dels = append(c.dels, t)

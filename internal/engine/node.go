@@ -193,6 +193,10 @@ type Node struct {
 	watchRefs map[string]int
 	// logSubs tracks which tables have a tracer event-log tap.
 	logSubs map[string]bool
+	// aggMaints holds the persistent incremental-aggregate accumulators,
+	// one per maintainable strand that has triggered at least once, with
+	// the table subscriptions feeding them (torn down on uninstall).
+	aggMaints map[*dataflow.Strand]*aggEntry
 
 	tracer *trace.Tracer
 	met    metrics.Node
@@ -242,6 +246,7 @@ func NewNode(cfg Config) *Node {
 		tableRefs:    make(map[string]int),
 		watchRefs:    make(map[string]int),
 		logSubs:      make(map[string]bool),
+		aggMaints:    make(map[*dataflow.Strand]*aggEntry),
 		perQuery:     make(map[string]*metrics.Query),
 	}
 	n.sysStats = n.queryStats(SystemQuery)
@@ -357,6 +362,11 @@ func (n *Node) EnableTracing(cfg trace.Config) error {
 		return err
 	}
 	n.tracer = tr
+	// Tracing-enabled nodes use the rescan path for full precondition
+	// provenance: drop the incremental accumulators and their listeners.
+	for s, e := range n.aggMaints {
+		n.dropAggEntry(s, e)
+	}
 	// Event logging (§2.1): record insertions and removals on every
 	// application table, existing and future.
 	for _, name := range n.store.Names() {
@@ -460,6 +470,9 @@ func (n *Node) subscribeLog(name string) {
 	n.logSubs[name] = true
 	n.tracer.LogEvent("watchTable", name, 0, n.Now()) // marks coverage start
 	tb.Subscribe(func(op table.Op, t tuple.Tuple) {
+		if op == table.OpClear {
+			return // bulk wipe: no per-row provenance to log
+		}
 		kind := "insert"
 		if op == table.OpDelete {
 			kind = "delete"
@@ -622,6 +635,9 @@ func (n *Node) UninstallQuery(id string) error {
 		}
 		if n.tracer != nil {
 			n.tracer.ForgetStrand(s)
+		}
+		if e := n.aggMaints[s]; e != nil {
+			n.dropAggEntry(s, e)
 		}
 	}
 	if len(q.periodics) > 0 {
@@ -1051,6 +1067,103 @@ func (n *Node) Rand64() uint64 { return n.rng.Uint64() }
 
 // LocalAddr implements overlog.Context.
 func (n *Node) LocalAddr() string { return n.cfg.Addr }
+
+// aggEntry pairs a strand's persistent accumulator with the table
+// subscriptions that keep it current. tabs[0] is the primary table
+// (inserts/deletes/expiry maintain the accumulator incrementally); the
+// rest are secondaries (any change invalidates it).
+type aggEntry struct {
+	am   *dataflow.AggMaint
+	tabs []aggSub
+}
+
+// aggSub is one table subscription held by an aggEntry. tb remembers the
+// exact Table object subscribed to, so AggState can detect a table that
+// was dropped and re-materialized (a new object) and rewire.
+type aggSub struct {
+	name string
+	tb   *table.Table
+	sub  int
+}
+
+// AggState implements dataflow.Context: it returns the persistent
+// accumulator for a maintainable strand, lazily wiring the table
+// listeners on first use and rewiring when a subscribed table object was
+// replaced. Tracing-enabled nodes return nil — the rescan path is what
+// gives the tracer its full precondition provenance.
+func (n *Node) AggState(s *dataflow.Strand) *dataflow.AggMaint {
+	if n.tracer != nil {
+		return nil
+	}
+	e := n.aggMaints[s]
+	if e != nil {
+		stale := false
+		for _, sub := range e.tabs {
+			if n.store.Get(sub.name) != sub.tb {
+				stale = true
+				break
+			}
+		}
+		if !stale {
+			if !e.am.Valid() {
+				n.met.AggRebuilds++ // runTrigger rebuilds before emitting
+			}
+			return e.am
+		}
+		n.dropAggEntry(s, e)
+	}
+	primary := n.store.Get(s.AggPlan.Primary)
+	if primary == nil {
+		return nil // rescan path reports the unmaterialized-table error
+	}
+	e = &aggEntry{am: dataflow.NewAggMaint(s)}
+	qid := s.QueryID
+	am := e.am
+	id := primary.Subscribe(func(op table.Op, t tuple.Tuple) {
+		n.aggApply(am, qid, op, t)
+	})
+	e.tabs = append(e.tabs, aggSub{name: s.AggPlan.Primary, tb: primary, sub: id})
+	for _, name := range s.AggPlan.Secondaries {
+		tb := n.store.Get(name)
+		sub := aggSub{name: name, tb: tb}
+		if tb != nil {
+			sub.sub = tb.Subscribe(func(table.Op, tuple.Tuple) { am.Invalidate() })
+		}
+		e.tabs = append(e.tabs, sub)
+	}
+	n.aggMaints[s] = e
+	n.met.AggRebuilds++ // fresh accumulator: first trigger rebuilds
+	return e.am
+}
+
+// aggApply folds one primary-table change into a strand's accumulator,
+// billed to the owning query (maintenance work is attributable CPU).
+func (n *Node) aggApply(am *dataflow.AggMaint, queryID string, op table.Op, t tuple.Tuple) {
+	if op == table.OpClear {
+		am.Invalidate()
+		return
+	}
+	if !am.Valid() {
+		return // next trigger rebuilds; nothing to maintain
+	}
+	prev := n.curStats
+	n.curStats = n.queryStats(queryID)
+	n.bill(dataflow.CostAggApply)
+	n.met.AggApplies++
+	am.Apply(n, op, t)
+	n.curStats = prev
+}
+
+// dropAggEntry unsubscribes an accumulator's table listeners and forgets
+// it. Unsubscribing from a dropped table's stale object is harmless.
+func (n *Node) dropAggEntry(s *dataflow.Strand, e *aggEntry) {
+	for _, sub := range e.tabs {
+		if sub.tb != nil {
+			sub.tb.Unsubscribe(sub.sub)
+		}
+	}
+	delete(n.aggMaints, s)
+}
 
 // Table implements dataflow.Context.
 func (n *Node) Table(name string) *table.Table { return n.store.Get(name) }

@@ -38,6 +38,8 @@ func (n Node) Counters() []Counter {
 		{Name: "HeadsEmitted", Prom: "heads_emitted", I: n.HeadsEmitted},
 		{Name: "RuleErrors", Prom: "rule_errors", I: n.RuleErrors},
 		{Name: "TimerFires", Prom: "timer_fires", I: n.TimerFires},
+		{Name: "AggApplies", Prom: "agg_applies", I: n.AggApplies},
+		{Name: "AggRebuilds", Prom: "agg_rebuilds", I: n.AggRebuilds},
 	}
 }
 

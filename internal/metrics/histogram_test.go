@@ -172,8 +172,8 @@ func TestSeriesRing(t *testing.T) {
 func TestCountersEnumeration(t *testing.T) {
 	n := Node{BusySeconds: 1.25, MsgsSent: 3, TimerFires: 9}
 	cs := n.Counters()
-	if len(cs) != 10 {
-		t.Fatalf("node counters = %d, want 10", len(cs))
+	if len(cs) != 12 {
+		t.Fatalf("node counters = %d, want 12", len(cs))
 	}
 	byName := map[string]Counter{}
 	for _, c := range cs {

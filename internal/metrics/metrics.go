@@ -32,6 +32,12 @@ type Node struct {
 	RuleErrors int64
 	// TimerFires counts periodic trigger firings.
 	TimerFires int64
+	// AggApplies counts incremental aggregate accumulator updates (one
+	// per primary-table change folded in O(delta) instead of a rescan).
+	AggApplies int64
+	// AggRebuilds counts accumulator rebuilds (first trigger after
+	// wiring, invalidation by a secondary-table change, or bulk clear).
+	AggRebuilds int64
 }
 
 // Snapshot returns a copy of the counters.
@@ -50,6 +56,8 @@ func (n Node) Sub(prev Node) Node {
 		HeadsEmitted:    n.HeadsEmitted - prev.HeadsEmitted,
 		RuleErrors:      n.RuleErrors - prev.RuleErrors,
 		TimerFires:      n.TimerFires - prev.TimerFires,
+		AggApplies:      n.AggApplies - prev.AggApplies,
+		AggRebuilds:     n.AggRebuilds - prev.AggRebuilds,
 	}
 }
 

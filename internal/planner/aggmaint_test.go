@@ -1,0 +1,128 @@
+package planner
+
+import (
+	"testing"
+
+	"p2go/internal/dataflow"
+)
+
+// strandFor picks the delta strand triggered by the named table.
+func strandFor(t *testing.T, strands []*dataflow.Strand, trig string) *dataflow.Strand {
+	t.Helper()
+	for _, s := range strands {
+		if s.Trigger.Name == trig {
+			return s
+		}
+	}
+	t.Fatalf("no strand triggered by %s", trig)
+	return nil
+}
+
+// The monitor's cs6 shape: a count over a single table, every group
+// variable trigger-bound and bare in the head. Eligible with no
+// secondaries and a full emission filter.
+func TestAggMaintSingleTableCount(t *testing.T) {
+	strands := plan(t,
+		`cs6 respCluster@NA(ProbeID, SAddr, count<*>) :- conRespTable@NA(ProbeID, ReqID, SAddr).`,
+		env("conRespTable"))
+	if len(strands) != 1 {
+		t.Fatalf("strands = %d, want 1", len(strands))
+	}
+	s := strands[0]
+	p := s.AggPlan
+	if p == nil {
+		t.Fatal("single-table count must be maintainable")
+	}
+	if p.Primary != "conRespTable" || len(p.Secondaries) != 0 {
+		t.Errorf("plan = %+v", p)
+	}
+	// NA, ProbeID, SAddr are trigger-bound and map to group positions
+	// 0, 1, 2 (head args minus the aggregate).
+	if len(p.Filter) != 3 {
+		t.Fatalf("filter = %+v, want 3 entries", p.Filter)
+	}
+	for i, f := range p.Filter {
+		if f.GroupIdx != i {
+			t.Errorf("filter[%d].GroupIdx = %d, want %d", i, f.GroupIdx, i)
+		}
+	}
+	if !s.Agg.EmitZero {
+		t.Error("all group vars trigger-bound: EmitZero must hold")
+	}
+}
+
+// The chord bs1 shape: min over a join with an assignment. The strand
+// triggered by the first body table is maintainable with the second
+// table as a secondary; the strand triggered by the second table is not
+// (its primary join is not the strand's first op).
+func TestAggMaintJoinAssign(t *testing.T) {
+	strands := plan(t,
+		`bs1 bestSuccDist@N(min<D>) :- succ@N(SID, SAddr), node@N(NID), D := SID - NID - 1.`,
+		env("succ", "node"))
+	if len(strands) != 2 {
+		t.Fatalf("strands = %d, want 2", len(strands))
+	}
+	hot := strandFor(t, strands, "succ")
+	p := hot.AggPlan
+	if p == nil {
+		t.Fatal("succ-triggered min strand must be maintainable")
+	}
+	if p.Primary != "succ" || len(p.Secondaries) != 1 || p.Secondaries[0] != "node" {
+		t.Errorf("plan = %+v", p)
+	}
+	if len(p.Filter) != 1 || p.Filter[0].GroupIdx != 0 {
+		t.Errorf("filter = %+v, want the location var at group 0", p.Filter)
+	}
+	if cold := strandFor(t, strands, "node"); cold.AggPlan != nil {
+		t.Error("node-triggered strand rescans succ before its own table; not maintainable")
+	}
+}
+
+// Event-triggered aggregates (the chord l2 lookup shape) are recomputed
+// per event; only delta strands are maintained.
+func TestAggMaintEventTriggerIneligible(t *testing.T) {
+	strands := plan(t,
+		`l2 bestLookupDist@N(K, ReqAddr, E, min<D>) :- node@N(NID), lookup@N(K, ReqAddr, E), finger@N(I, FID, FAddr), D := K - FID - 1, FID in (NID, K).`,
+		env("node", "finger"))
+	if len(strands) != 1 {
+		t.Fatalf("strands = %d, want 1", len(strands))
+	}
+	if strands[0].AggPlan != nil {
+		t.Error("event-triggered aggregate must not be maintained")
+	}
+}
+
+// A trigger-bound variable folded into a head expression cannot be
+// recovered from the group values at emission time.
+func TestAggMaintNonBareGroupIneligible(t *testing.T) {
+	strands := plan(t,
+		`r out@N(X + 1, count<*>) :- tab@N(X, Y).`,
+		env("tab"))
+	if strands[0].AggPlan != nil {
+		t.Error("non-bare trigger-bound head arg must block maintenance")
+	}
+}
+
+// Impure builtins would make cached contributions diverge from a fresh
+// rescan.
+func TestAggMaintImpureIneligible(t *testing.T) {
+	strands := plan(t,
+		`r out@N(X, sum<Z>) :- tab@N(X, Y), Z := Y % f_rand().`,
+		env("tab"))
+	if strands[0].AggPlan != nil {
+		t.Error("impure assignment must block maintenance")
+	}
+}
+
+// Self-joining the primary table gives each row two roles; the
+// accumulator only models one.
+func TestAggMaintSelfJoinIneligible(t *testing.T) {
+	strands := plan(t,
+		`r out@N(count<*>) :- link@N(A, B), link@N(B, C).`,
+		env("link"))
+	for _, s := range strands {
+		if s.AggPlan != nil {
+			t.Errorf("self-join strand %s must not be maintained", s)
+		}
+	}
+}

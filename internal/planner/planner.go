@@ -346,7 +346,149 @@ func buildStrand(r *overlog.Rule, label string, env Env, preds []*overlog.Functo
 
 	s.NumVars = len(vt.names)
 	s.VarNames = vt.names
+	if aggDelta && s.Agg != nil {
+		s.AggPlan = analyzeAggMaint(s, headAll, aggIdx)
+	}
 	return s, nil
+}
+
+// analyzeAggMaint decides whether an aggregate delta strand is eligible
+// for incremental maintenance and, if so, builds its AggPlan. The
+// maintained accumulator evaluates the pipeline without the trigger
+// binding, so eligibility demands that the pipeline be self-sufficient
+// and that the trigger's only influence — equality constraints on
+// group-by variables — be recoverable at emission time:
+//
+//   - the strand's first op is the rescan join of the trigger table
+//     itself (the primary), and the primary is not self-joined;
+//   - simulated from an empty binding, every condition, assignment and
+//     head argument sees only variables bound by earlier joins/assigns;
+//   - every trigger-bound slot appears as a bare head argument, giving
+//     the emission-time filter (group value = trigger value) that
+//     replaces the rescan's trigger-bound join unification;
+//   - all expressions are pure (f_now/f_rand/f_randID would make cached
+//     contributions diverge from a fresh rescan);
+//   - the rule is not a delete rule (wildcard head semantics).
+//
+// Ineligible strands keep the per-activation rescan; semantics are
+// identical either way.
+func analyzeAggMaint(s *dataflow.Strand, headAll []overlog.Expr, aggIdx int) *dataflow.AggPlan {
+	if s.IsDelete || len(s.Ops) == 0 {
+		return nil
+	}
+	op0, ok := s.Ops[0].(*dataflow.JoinOp)
+	if !ok || op0.Table != s.Trigger.Name {
+		return nil
+	}
+	nameSlot := map[string]int{}
+	for i, nm := range s.VarNames {
+		nameSlot[nm] = i
+	}
+	// Boundness simulation without the trigger binding.
+	bound := make([]bool, s.NumVars)
+	allBoundSlots := func(vars map[string]bool) bool {
+		for v := range vars {
+			if !bound[nameSlot[v]] {
+				return false
+			}
+		}
+		return true
+	}
+	seen := map[string]bool{}
+	var secondaries []string
+	for _, op := range s.Ops {
+		switch o := op.(type) {
+		case *dataflow.JoinOp:
+			if op != s.Ops[0] {
+				if o.Table == op0.Table {
+					return nil // self-join on the primary
+				}
+				if !seen[o.Table] {
+					seen[o.Table] = true
+					secondaries = append(secondaries, o.Table)
+				}
+			}
+			for _, slot := range o.FieldSlots {
+				if slot >= 0 {
+					bound[slot] = true
+				}
+			}
+		case *dataflow.CondOp:
+			if !pureExpr(o.Expr) || !allBoundSlots(overlog.Vars(o.Expr)) {
+				return nil
+			}
+		case *dataflow.AssignOp:
+			if !pureExpr(o.Expr) || !allBoundSlots(overlog.Vars(o.Expr)) {
+				return nil
+			}
+			bound[o.Slot] = true
+		}
+	}
+	for i, a := range headAll {
+		if i == aggIdx {
+			continue
+		}
+		if !pureExpr(a) || !allBoundSlots(overlog.Vars(a)) {
+			return nil
+		}
+	}
+	// Emission-time filter: every trigger-bound slot must be a bare head
+	// argument so its group value can be compared against the trigger.
+	var filter []dataflow.AggFilterPos
+	filtered := map[int]bool{}
+	for _, slot := range s.Trigger.FieldSlots {
+		if slot < 0 || filtered[slot] {
+			continue
+		}
+		gi := -1
+		j := 0
+		for i, a := range headAll {
+			if i == aggIdx {
+				continue
+			}
+			if v, ok := a.(*overlog.Var); ok && nameSlot[v.Name] == slot {
+				gi = j
+				break
+			}
+			j++
+		}
+		if gi < 0 {
+			return nil
+		}
+		filtered[slot] = true
+		filter = append(filter, dataflow.AggFilterPos{GroupIdx: gi, Slot: slot})
+	}
+	return &dataflow.AggPlan{Primary: op0.Table, Secondaries: secondaries, Filter: filter}
+}
+
+// pureExpr reports whether an expression is free of impure builtins
+// (whose value depends on when they run rather than on their inputs).
+func pureExpr(e overlog.Expr) bool {
+	switch x := e.(type) {
+	case *overlog.Call:
+		switch x.Name {
+		case "f_now", "f_rand", "f_randID":
+			return false
+		}
+		for _, a := range x.Args {
+			if !pureExpr(a) {
+				return false
+			}
+		}
+	case *overlog.Unary:
+		return pureExpr(x.X)
+	case *overlog.Binary:
+		return pureExpr(x.L) && pureExpr(x.R)
+	case *overlog.ListExpr:
+		for _, el := range x.Elems {
+			if !pureExpr(el) {
+				return false
+			}
+		}
+	case *overlog.RangeExpr:
+		return pureExpr(x.X) && pureExpr(x.Lo) && pureExpr(x.Hi)
+	}
+	return true
 }
 
 func allBound(vars map[string]bool, vt *varTable) bool {

@@ -14,8 +14,14 @@ import (
 func TestClearDropsStateKeepsDefinition(t *testing.T) {
 	tb := New(Spec{Name: "succ", Lifetime: 30, MaxSize: Infinity, Keys: []int{2}})
 	tb.EnsureIndex([]int{2})
-	notified := 0
-	tb.Subscribe(func(Op, tuple.Tuple) { notified++ })
+	notified, cleared := 0, 0
+	tb.Subscribe(func(op Op, _ tuple.Tuple) {
+		if op == OpClear {
+			cleared++
+			return
+		}
+		notified++
+	})
 	for i := uint64(1); i <= 5; i++ {
 		if _, err := tb.Insert(succ("n1", i*10, "n2"), 0); err != nil {
 			t.Fatal(err)
@@ -40,8 +46,13 @@ func TestClearDropsStateKeepsDefinition(t *testing.T) {
 		t.Errorf("NextExpiry after Clear = %v, want +Inf", tb.NextExpiry())
 	}
 	if notified != notifiedBefore {
-		t.Errorf("Clear fired %d listener events; process death must be silent",
+		t.Errorf("Clear fired %d per-row listener events; process death must be silent",
 			notified-notifiedBefore)
+	}
+	// Silent per row, but subscribers holding derived state (incremental
+	// aggregate accumulators) get exactly one bulk invalidation marker.
+	if cleared != 1 {
+		t.Errorf("Clear fired %d OpClear markers, want 1", cleared)
 	}
 
 	// The definition survives: inserts, index maintenance and expiry

@@ -49,11 +49,21 @@ const (
 	// OpDelete reports a removed row (explicit delete, replacement of a
 	// same-key row, expiry, or eviction).
 	OpDelete
+	// OpClear reports a bulk Clear: every row vanished at once without
+	// individual delete events (crash amnesia). The reported tuple
+	// carries only the table name. Subscribers holding derived state
+	// (e.g. incremental aggregate accumulators) must invalidate it.
+	OpClear
 )
 
 // Listener observes table changes. Listeners run synchronously inside the
 // mutation; they must not mutate the table reentrantly.
 type Listener func(op Op, t tuple.Tuple)
+
+type listenerEnt struct {
+	id int
+	fn Listener
+}
 
 type row struct {
 	t      tuple.Tuple
@@ -64,11 +74,12 @@ type row struct {
 // Table is a single soft-state table. Tables are not safe for concurrent
 // use; the engine serializes all access within a node's event loop.
 type Table struct {
-	spec      Spec
-	rows      map[uint64][]row // key hash -> rows with that hash
-	count     int
-	seq       uint64
-	listeners []Listener
+	spec       Spec
+	rows       map[uint64][]row // key hash -> rows with that hash
+	count      int
+	seq        uint64
+	listeners  []listenerEnt
+	listenerID int
 	// fifo tracks insertion order for O(1) amortized eviction: seq ->
 	// key hash, lazily invalidated via seqs.
 	fifo []fifoRef
@@ -77,8 +88,22 @@ type Table struct {
 	// sweeps exit without touching any bucket.
 	soonest float64
 	// indexes holds secondary join indexes (see EnsureIndex).
-	indexes map[string]*index
+	indexes map[uint64][]*index
+	// scanScratch is the reusable row-snapshot buffer for Scan (tables
+	// are single-threaded like their node); scanBusy falls back to
+	// allocation for nested scans from inside a Scan callback.
+	scanScratch bySeq
+	scanBusy    bool
 }
+
+// bySeq sorts a row snapshot into insertion order. It implements
+// sort.Interface on the pointer so Scan's sort of the pooled snapshot
+// converts to the interface without allocating.
+type bySeq []row
+
+func (r *bySeq) Len() int           { return len(*r) }
+func (r *bySeq) Less(i, j int) bool { return (*r)[i].seq < (*r)[j].seq }
+func (r *bySeq) Swap(i, j int)      { (*r)[i], (*r)[j] = (*r)[j], (*r)[i] }
 
 type fifoRef struct {
 	seq  uint64
@@ -105,12 +130,33 @@ func (tb *Table) Name() string { return tb.spec.Name }
 // they need the count at a particular instant.
 func (tb *Table) Count() int { return tb.count }
 
-// Subscribe registers a listener for subsequent changes.
-func (tb *Table) Subscribe(l Listener) { tb.listeners = append(tb.listeners, l) }
+// Subscribe registers a listener for subsequent changes and returns a
+// handle for Unsubscribe. Listeners fire in subscription order.
+func (tb *Table) Subscribe(l Listener) int {
+	tb.listenerID++
+	tb.listeners = append(tb.listeners, listenerEnt{id: tb.listenerID, fn: l})
+	return tb.listenerID
+}
+
+// Unsubscribe removes the listener registered under the given handle
+// (a no-op for unknown handles). Query teardown uses it to detach
+// incremental-aggregate accumulators from tables that outlive the query.
+func (tb *Table) Unsubscribe(id int) {
+	for i, ent := range tb.listeners {
+		if ent.id == id {
+			tb.listeners = append(tb.listeners[:i:i], tb.listeners[i+1:]...)
+			return
+		}
+	}
+}
+
+// NumListeners returns the number of registered listeners (tests use it
+// to verify teardown).
+func (tb *Table) NumListeners() int { return len(tb.listeners) }
 
 func (tb *Table) notify(op Op, t tuple.Tuple) {
-	for _, l := range tb.listeners {
-		l(op, t)
+	for _, ent := range tb.listeners {
+		ent.fn(op, t)
 	}
 }
 
@@ -311,13 +357,35 @@ func matchPattern(t, pattern tuple.Tuple) bool {
 // deterministic (insertion order). fn must not mutate the table.
 func (tb *Table) Scan(now float64, fn func(tuple.Tuple)) {
 	tb.expireLocked(now)
-	rows := make([]row, 0, tb.count)
+	var rows bySeq
+	pooled := !tb.scanBusy
+	if pooled {
+		tb.scanBusy = true
+		if cap(tb.scanScratch) < tb.count {
+			tb.scanScratch = make(bySeq, 0, tb.count)
+		}
+		rows = tb.scanScratch[:0]
+	} else {
+		rows = make(bySeq, 0, tb.count)
+	}
 	for _, bucket := range tb.rows {
 		rows = append(rows, bucket...)
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].seq < rows[j].seq })
+	if pooled {
+		// Sorting through the table-owned field keeps the
+		// sort.Interface conversion allocation-free.
+		tb.scanScratch = rows
+		sort.Sort(&tb.scanScratch)
+		rows = tb.scanScratch
+	} else {
+		sort.Slice(rows, func(i, j int) bool { return rows[i].seq < rows[j].seq })
+	}
 	for _, r := range rows {
 		fn(r.t)
+	}
+	if pooled {
+		tb.scanScratch = rows[:0] // keep any growth
+		tb.scanBusy = false
 	}
 }
 
@@ -371,20 +439,25 @@ func (tb *Table) expireLocked(now float64) {
 	}
 }
 
-// Clear drops every row WITHOUT firing delete listeners: it models the
-// soft-state loss of a process death (a crashed node emits no delete
-// events — its state simply vanishes), which is what the fault
+// Clear drops every row WITHOUT firing per-row delete listeners: it
+// models the soft-state loss of a process death (a crashed node emits no
+// delete events — its state simply vanishes), which is what the fault
 // injector's restart-with-amnesia needs. Secondary indexes keep their
-// definitions but lose their rows.
+// definitions but lose their rows. A single OpClear notification fires
+// after the wipe so subscribers holding derived state (incremental
+// aggregate accumulators) can invalidate it.
 func (tb *Table) Clear() {
 	tb.rows = make(map[uint64][]row)
 	tb.seqs = make(map[uint64]uint64)
 	tb.fifo = tb.fifo[:0]
 	tb.count = 0
 	tb.soonest = math.Inf(1)
-	for _, ix := range tb.indexes {
-		ix.buckets = make(map[uint64][]uint64)
+	for _, chain := range tb.indexes {
+		for _, ix := range chain {
+			ix.buckets = make(map[uint64][]uint64)
+		}
 	}
+	tb.notify(OpClear, tuple.Tuple{Name: tb.spec.Name})
 }
 
 // NextExpiry returns the earliest row expiry time, or +Inf when nothing
@@ -529,12 +602,28 @@ type index struct {
 	buckets   map[uint64][]uint64
 }
 
-func indexKey(positions []int) string {
-	b := make([]byte, 0, 2*len(positions))
+// indexKey hashes a positions slice for the index-map lookup. Lookups
+// verify the positions slice exactly, so a hash collision only costs a
+// chain walk, never a wrong index. A uint64 key (rather than a built
+// string) keeps the per-probe MatchIndexed path allocation-free.
+func indexKey(positions []int) uint64 {
+	h := uint64(14695981039346656037)
 	for _, p := range positions {
-		b = append(b, byte(p), ':')
+		h = (h ^ uint64(p)) * 1099511628211
 	}
-	return string(b)
+	return h
+}
+
+func samePositions(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func (ix *index) keyOfRow(t tuple.Tuple) uint64 {
@@ -552,29 +641,43 @@ func (ix *index) keyOfRow(t tuple.Tuple) uint64 {
 // calls it once per distinct join access path; joins then probe buckets
 // instead of scanning the table (P2's planner-created join indices).
 func (tb *Table) EnsureIndex(positions []int) {
+	tb.ensureIndex(positions)
+}
+
+func (tb *Table) ensureIndex(positions []int) *index {
 	key := indexKey(positions)
 	if tb.indexes == nil {
-		tb.indexes = make(map[string]*index)
+		tb.indexes = make(map[uint64][]*index)
 	}
-	if _, ok := tb.indexes[key]; ok {
-		return
-	}
-	ix := &index{positions: positions, buckets: make(map[uint64][]uint64)}
-	for h, bucket := range tb.rows {
-		_ = h
-		for i := range bucket {
-			k := ix.keyOfRow(bucket[i].t)
-			ix.buckets[k] = append(ix.buckets[k], bucket[i].seq)
+	for _, ix := range tb.indexes[key] {
+		if samePositions(ix.positions, positions) {
+			return ix
 		}
 	}
-	tb.indexes[key] = ix
+	ix := &index{positions: positions, buckets: make(map[uint64][]uint64)}
+	// Backfill in seq (insertion) order so bucket enumeration order is
+	// deterministic and identical to Scan order — fresh inserts append
+	// monotonically increasing seqs, keeping that invariant.
+	backfill := make([]row, 0, tb.count)
+	for _, bucket := range tb.rows {
+		backfill = append(backfill, bucket...)
+	}
+	sort.Slice(backfill, func(i, j int) bool { return backfill[i].seq < backfill[j].seq })
+	for i := range backfill {
+		k := ix.keyOfRow(backfill[i].t)
+		ix.buckets[k] = append(ix.buckets[k], backfill[i].seq)
+	}
+	tb.indexes[key] = append(tb.indexes[key], ix)
+	return ix
 }
 
 // indexInsert registers a fresh row in every secondary index.
 func (tb *Table) indexInsert(t tuple.Tuple, seq uint64) {
-	for _, ix := range tb.indexes {
-		k := ix.keyOfRow(t)
-		ix.buckets[k] = append(ix.buckets[k], seq)
+	for _, chain := range tb.indexes {
+		for _, ix := range chain {
+			k := ix.keyOfRow(t)
+			ix.buckets[k] = append(ix.buckets[k], seq)
+		}
 	}
 }
 
@@ -585,8 +688,7 @@ func (tb *Table) indexInsert(t tuple.Tuple, seq uint64) {
 // filtered by the Equal checks.
 func (tb *Table) MatchIndexed(now float64, positions []int, values []tuple.Value, fn func(tuple.Tuple)) int {
 	tb.expireLocked(now)
-	tb.EnsureIndex(positions)
-	ix := tb.indexes[indexKey(positions)]
+	ix := tb.ensureIndex(positions)
 	k := tuple.HashValues(values)
 	bucket := ix.buckets[k]
 	if len(bucket) == 0 {

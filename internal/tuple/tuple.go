@@ -2,7 +2,6 @@ package tuple
 
 import (
 	"fmt"
-	"hash/fnv"
 	"strings"
 )
 
@@ -62,28 +61,27 @@ func (t Tuple) Equal(o Tuple) bool {
 
 // Hash returns a content hash of the tuple (name + fields).
 func (t Tuple) Hash() uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(t.Name))
-	h.Write([]byte{0})
+	h := fnvString(FnvOffset64, t.Name)
+	h = fnvByte(h, 0)
 	for _, f := range t.Fields {
-		f.hashInto(h)
+		h = f.hashFold(h)
 	}
-	return h.Sum64()
+	return h
 }
 
 // KeyHash hashes the subset of fields at the given 1-based positions; it
 // is the primary-key hash used by tables. Positions beyond the arity hash
 // as nil.
 func (t Tuple) KeyHash(keys []int) uint64 {
-	h := fnv.New64a()
+	h := uint64(FnvOffset64)
 	for _, k := range keys {
 		if k >= 1 && k <= len(t.Fields) {
-			t.Fields[k-1].hashInto(h)
+			h = t.Fields[k-1].hashFold(h)
 		} else {
-			Nil.hashInto(h)
+			h = Nil.hashFold(h)
 		}
 	}
-	return h.Sum64()
+	return h
 }
 
 // KeyEqual reports whether two tuples agree on the fields at the given

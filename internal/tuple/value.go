@@ -10,7 +10,6 @@ package tuple
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"sort"
 	"strconv"
@@ -227,45 +226,55 @@ func (v Value) Compare(o Value) int {
 // Hash returns a 64-bit FNV-1a hash of the value, consistent with Equal
 // for same-kind values.
 func (v Value) Hash() uint64 {
-	h := fnv.New64a()
-	v.hashInto(h)
-	return h.Sum64()
+	return v.hashFold(FnvOffset64)
 }
 
-type hash64 interface {
-	Write(p []byte) (int, error)
-	Sum64() uint64
+// FNV-1a 64-bit parameters. Hashing is a pure fold over these (no
+// hash.Hash64 allocation): index probes and aggregate grouping keys sit
+// on the engine's hot path. The byte stream matches hash/fnv exactly.
+const (
+	FnvOffset64        = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return h
 }
 
-func (v Value) hashInto(h hash64) {
-	var buf [9]byte
-	buf[0] = byte(v.kind)
+func (v Value) hashFold(h uint64) uint64 {
 	switch v.kind {
 	case KindStr:
-		h.Write(buf[:1])
-		h.Write([]byte(v.str))
+		h = fnvByte(h, byte(v.kind))
+		h = fnvString(h, v.str)
 	case KindList:
-		h.Write(buf[:1])
+		h = fnvByte(h, byte(v.kind))
 		for _, e := range v.list {
-			e.hashInto(h)
+			h = e.hashFold(h)
 		}
 	default:
+		k := byte(v.kind)
 		n := v.num
 		// Normalize numerics so Equal values hash equally.
 		if v.kind == KindFloat {
 			f := v.toFloat()
 			if f == math.Trunc(f) && f >= 0 && f < 1e18 {
 				n = uint64(f)
-				buf[0] = byte(KindID)
+				k = byte(KindID)
 			}
 		} else if v.kind == KindInt && int64(v.num) >= 0 {
-			buf[0] = byte(KindID)
+			k = byte(KindID)
 		}
+		h = fnvByte(h, k)
 		for i := 0; i < 8; i++ {
-			buf[1+i] = byte(n >> (8 * i))
+			h = fnvByte(h, byte(n>>(8*i)))
 		}
-		h.Write(buf[:9])
 	}
+	return h
 }
 
 // String renders the value in OverLog literal syntax.
@@ -485,9 +494,9 @@ func SortValues(vs []Value) {
 
 // HashValues hashes a list of values (used for secondary-index keys).
 func HashValues(vs []Value) uint64 {
-	h := fnv.New64a()
+	h := uint64(FnvOffset64)
 	for _, v := range vs {
-		v.hashInto(h)
+		h = v.hashFold(h)
 	}
-	return h.Sum64()
+	return h
 }
