@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test check cover bench bench-smoke bench-churn bench-lifecycle bench-trace bench-profiler bench-agg fuzz examples tidy
+.PHONY: build test check cover bench bench-smoke bench-churn bench-lifecycle bench-trace bench-profiler bench-agg bench-intranode fuzz examples tidy
 
 build:
 	go build ./...
@@ -57,6 +57,13 @@ bench-profiler:
 # writes BENCH_agg.json.
 bench-agg:
 	go run ./cmd/p2bench -exp agg -json
+
+# Intra-node strand scheduling: ExecSingle vs ExecMulti over a worker
+# sweep on one wide fan-out node, fingerprint-checked against the
+# sequential run and composed with both simnet drivers; writes
+# BENCH_intranode.json.
+bench-intranode:
+	go run ./cmd/p2bench -exp intranode -json
 
 fuzz:
 	go test -run '^$$' -fuzz FuzzUnmarshal -fuzztime 30s ./internal/tuple/

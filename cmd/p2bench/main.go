@@ -16,11 +16,14 @@
 //	p2bench -exp scenario -scenario f.txt   # replay a fault scenario file
 //	p2bench -exp trace          # export a causal Chrome trace + Prometheus scrape
 //	p2bench -exp profiler       # stats-publication overhead on the churn run
+//	p2bench -exp intranode      # intra-node strand scheduler speedup sweep
 //
 // -parallel runs every ring on simnet's conservative parallel driver
 // (same virtual-time results, different wall clock); -workers bounds its
 // worker pool (0 = GOMAXPROCS). -json additionally writes each
-// experiment's result to BENCH_<exp>.json.
+// experiment's result to BENCH_<exp>.json. -cpuprofile/-memprofile write
+// pprof profiles covering the selected experiment(s) (see EXPERIMENTS.md
+// for the workflow).
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"p2go/internal/bench"
 	"p2go/internal/faults"
@@ -36,17 +40,44 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: logging, fig4, fig5, fig6, fig7, smoke, ablation, churn, lifecycle, scenario, trace, profiler, all")
+		exp      = flag.String("exp", "all", "experiment: logging, fig4, fig5, fig6, fig7, smoke, ablation, churn, lifecycle, scenario, trace, profiler, intranode, all")
 		seed     = flag.Int64("seed", 42, "random seed")
 		parallel = flag.Bool("parallel", false, "run rings on the conservative parallel simnet driver")
 		workers  = flag.Int("workers", 0, "parallel worker pool size (0 = GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "also write each experiment's result to BENCH_<exp>.json")
 		scenario = flag.String("scenario", "", "fault scenario file for -exp scenario (see internal/faults.Parse)")
-		quick    = flag.Bool("quick", false, "shrink -exp lifecycle/trace to a smoke-sized run (CI)")
+		quick    = flag.Bool("quick", false, "shrink -exp lifecycle/trace/intranode to a smoke-sized run (CI)")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 	bench.Parallel = *parallel
 	bench.Workers = *workers
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects before the heap snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	counts := []int{0, 50, 100, 150, 200, 250}
 	run := func(name string) {
@@ -188,6 +219,20 @@ func main() {
 			}
 			if res.AccountingErr != "" {
 				log.Fatal("per-query accounting invariant violated")
+			}
+			payload = res
+		case "intranode":
+			res, err := bench.Intranode(*seed, *quick)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Intra-node: conflict-free strand scheduling, one wide fan-out per tick")
+			fmt.Println(res)
+			if !res.FingerprintOK {
+				log.Fatal("determinism contract violated: ExecMulti diverged from ExecSingle")
+			}
+			if !res.RingMatch {
+				log.Fatal("determinism contract violated: (ExecMode x simnet driver) rings disagree")
 			}
 			payload = res
 		case "scenario":

@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"p2go/internal/chord"
+	"p2go/internal/engine"
+	"p2go/internal/overlog"
+	"p2go/internal/tuple"
+)
+
+// IntranodeWorkers is the worker-count sweep of the intra-node
+// scheduler benchmark.
+var IntranodeWorkers = []int{1, 2, 4, 8}
+
+// IntranodePoint is one worker count of the sweep.
+type IntranodePoint struct {
+	// Workers is the engine.Config.Workers setting of this run.
+	Workers int
+	// Wall is the measured wall-clock time of the tick loop.
+	Wall time.Duration
+	// WallSpeedup is the measured, BusySeconds-normalized wall speedup
+	// over the ExecSingle baseline: (wall/busy)_single / (wall/busy)_w.
+	// The two busy terms are bit-identical when FingerprintOK holds, so
+	// this is wall_single/wall_w — and it is bounded by the host's real
+	// core count (flat on a single-core host no matter the pool size).
+	WallSpeedup float64
+	// ModelSpeedup is the cost-model speedup of the whole run:
+	// busy / (busy - SeqSeconds + ParSeconds), i.e. the batched fan-outs
+	// replaced by their list-scheduled makespan on this worker pool
+	// (engine.FanoutStats). This is the host-independent number: the
+	// wall speedup an executor with `Workers` real cores would see.
+	ModelSpeedup float64
+	// Committed/Aborted are the run's speculation outcome counters.
+	Committed int64
+	Aborted   int64
+}
+
+// IntranodeResult is the output of the intranode experiment.
+type IntranodeResult struct {
+	// Rules/Rows/Ticks describe the workload: Rules independent rules
+	// (each scanning a private Rows-row table) all triggered by the same
+	// tick event, fired Ticks times.
+	Rules int
+	Rows  int
+	Ticks int
+	// HostCores is runtime.NumCPU() — the bound on WallSpeedup.
+	HostCores int
+	// BusySeconds is the simulated CPU of the tick loop (identical
+	// across all runs when FingerprintOK holds).
+	BusySeconds float64
+	// SingleWall is the measured wall time of the ExecSingle baseline.
+	SingleWall time.Duration
+	// Points is the ExecMulti sweep over IntranodeWorkers.
+	Points []IntranodePoint
+	// FingerprintOK reports that every run of the sweep produced a
+	// byte-identical node fingerprint (metrics, per-query bills,
+	// histograms, every table row with its tuple ID) — the determinism
+	// acceptance check.
+	FingerprintOK bool
+	// RingMatch reports that the 4-way composition check passed: a
+	// Chord ring run under (ExecSingle|ExecMulti) x (sequential|parallel
+	// simnet driver) produced four byte-identical ring fingerprints.
+	RingMatch bool
+}
+
+// String renders the result as the speedup table.
+func (r *IntranodeResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  workload: %d rules x %d rows, %d ticks (%.2f busy-seconds); host cores: %d\n",
+		r.Rules, r.Rows, r.Ticks, r.BusySeconds, r.HostCores)
+	fmt.Fprintf(&b, "  %-8s %12s %14s %14s %10s %8s\n",
+		"workers", "wall", "wall-speedup", "model-speedup", "committed", "aborted")
+	fmt.Fprintf(&b, "  %-8s %12s %14s %14s %10s %8s\n",
+		"single", r.SingleWall.Round(time.Microsecond).String(), "1.00x", "1.00x", "-", "-")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "  %-8d %12s %13.2fx %13.2fx %10d %8d\n",
+			p.Workers, p.Wall.Round(time.Microsecond).String(),
+			p.WallSpeedup, p.ModelSpeedup, p.Committed, p.Aborted)
+	}
+	fmt.Fprintf(&b, "  fingerprints identical: %v\n", r.FingerprintOK)
+	fmt.Fprintf(&b, "  4-way ring composition (Single|Multi)x(seq|par): match=%v", r.RingMatch)
+	return b.String()
+}
+
+// intranodeSrc builds the wide independent-rule program: `rules`
+// disjoint rules, each joining the shared tick trigger against its own
+// infinite-lifetime table with a selective condition, so one tick fans
+// out to `rules` strands whose footprints never conflict.
+func intranodeSrc(rules int) string {
+	var b strings.Builder
+	for i := 0; i < rules; i++ {
+		fmt.Fprintf(&b, "materialize(t%d, infinity, infinity, keys(2)).\n", i)
+		fmt.Fprintf(&b, "r%d out%d@N(A, C) :- tick@N(E), t%d@N(A, B), B < 2, C := B + %d.\n",
+			i, i, i, i)
+	}
+	return b.String()
+}
+
+// NodeFingerprint renders everything the determinism contract covers
+// about one node: the metrics counters, per-query bills, the encoded
+// histograms, and every live table row with its node-unique tuple ID.
+// Two runs are bit-identical iff their fingerprints are byte-equal.
+func NodeFingerprint(n *engine.Node, now float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "met=%+v\n", n.Metrics())
+	qm := n.QueryMetrics()
+	ids := make([]string, 0, len(qm))
+	for id := range qm {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "query %s=%+v\n", id, qm[id])
+	}
+	h := n.Hists()
+	fmt.Fprintf(&b, "hists=%s|%s|%s|%s\n",
+		h.HopLatency.Encode(), h.StrandCost.Encode(),
+		h.QueueWait.Encode(), h.QueueDepth.Encode())
+	for _, name := range n.Store().Names() {
+		tb := n.Store().Get(name)
+		var rows []string
+		tb.Scan(now, func(t tuple.Tuple) {
+			rows = append(rows, fmt.Sprintf("  id=%d %s", t.ID, t.String()))
+		})
+		sort.Strings(rows)
+		fmt.Fprintf(&b, "table %s n=%d\n", name, len(rows))
+		for _, r := range rows {
+			b.WriteString(r)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// ringFP fingerprints a whole ring: every node plus the global watch
+// stream (observation times include micro-clock bills, so any billing
+// divergence shows up here) and the rule-error log.
+func ringFP(r *chord.Ring) string {
+	var b strings.Builder
+	now := r.Sim.Now()
+	for _, a := range r.Addrs {
+		fmt.Fprintf(&b, "== %s\n%s", a, NodeFingerprint(r.Node(a), now))
+	}
+	for _, w := range r.Watched {
+		fmt.Fprintf(&b, "watch t=%.9f %s %s\n", w.At, w.Node, w.T.String())
+	}
+	for _, e := range r.Errors {
+		fmt.Fprintf(&b, "err %s\n", e)
+	}
+	return b.String()
+}
+
+// Intranode measures the intra-node parallel scheduler on a single bare
+// node (no network, clock pinned at 0): a wide independent-rule program
+// where each tick event fans out to `rules` conflict-free strands. It
+// runs the ExecSingle baseline, sweeps ExecMulti over IntranodeWorkers,
+// checks that all fingerprints are byte-identical, and composes the
+// scheduler with both simnet drivers on a real Chord ring.
+func Intranode(seed int64, quick bool) (*IntranodeResult, error) {
+	rules, rows, ticks := 64, 400, 30
+	ringN, ringFor := 9, 60.0
+	if quick {
+		rules, rows, ticks = 32, 200, 10
+		ringN, ringFor = 5, 30.0
+	}
+	res := &IntranodeResult{
+		Rules: rules, Rows: rows, Ticks: ticks,
+		HostCores: runtime.NumCPU(),
+	}
+	prog, err := overlog.Parse(intranodeSrc(rules))
+	if err != nil {
+		return nil, err
+	}
+
+	runOne := func(mode engine.ExecMode, workers int) (string, float64, time.Duration, engine.FanoutStats, error) {
+		n := engine.NewNode(engine.Config{
+			Addr: "n1", Seed: seed, ExecMode: mode, Workers: workers,
+		})
+		if err := n.InstallProgram(prog); err != nil {
+			return "", 0, 0, engine.FanoutStats{}, err
+		}
+		for i := 0; i < rules; i++ {
+			name := fmt.Sprintf("t%d", i)
+			for j := 0; j < rows; j++ {
+				n.HandleLocal(tuple.New(name,
+					tuple.Str("n1"), tuple.Int(int64(j)), tuple.Int(int64(j))))
+			}
+		}
+		pre := n.Metrics().BusySeconds
+		start := time.Now()
+		for k := 0; k < ticks; k++ {
+			n.HandleLocal(tuple.New("tick", tuple.Str("n1"), tuple.Int(int64(k))))
+		}
+		wall := time.Since(start)
+		return NodeFingerprint(n, 0), n.Metrics().BusySeconds - pre, wall, n.FanoutStats(), nil
+	}
+
+	baseFP, busy, baseWall, _, err := runOne(engine.ExecSingle, 0)
+	if err != nil {
+		return nil, err
+	}
+	res.BusySeconds = busy
+	res.SingleWall = baseWall
+	res.FingerprintOK = true
+	for _, w := range IntranodeWorkers {
+		fp, busyW, wall, fan, err := runOne(engine.ExecMulti, w)
+		if err != nil {
+			return nil, err
+		}
+		if fp != baseFP || busyW != busy {
+			res.FingerprintOK = false
+		}
+		p := IntranodePoint{
+			Workers:   w,
+			Wall:      wall,
+			Committed: fan.Committed,
+			Aborted:   fan.Aborted,
+		}
+		// Normalize by busy so the baseline and the point measure the
+		// same amount of simulated work even on a fingerprint mismatch
+		// (where the mismatch itself fails the run).
+		p.WallSpeedup = (baseWall.Seconds() / busy) / (wall.Seconds() / busyW)
+		if serial := busyW - fan.SeqSeconds + fan.ParSeconds; serial > 0 {
+			p.ModelSpeedup = busyW / serial
+		}
+		res.Points = append(res.Points, p)
+	}
+
+	// 4-way composition check: the intra-node scheduler must be
+	// invisible under both simnet drivers on a real protocol.
+	combos := []struct {
+		par  bool
+		mode engine.ExecMode
+	}{
+		{false, engine.ExecSingle},
+		{false, engine.ExecMulti},
+		{true, engine.ExecSingle},
+		{true, engine.ExecMulti},
+	}
+	var first string
+	res.RingMatch = true
+	for i, c := range combos {
+		r, err := chord.NewRing(chord.RingConfig{
+			N: ringN, Seed: seed,
+			Parallel: c.par, Workers: 4,
+			ExecMode: c.mode, NodeWorkers: 4,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.Run(ringFor)
+		fp := ringFP(r)
+		if i == 0 {
+			first = fp
+		} else if fp != first {
+			res.RingMatch = false
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,52 @@
+package dataflow
+
+// Footprint is a strand's static read/write table footprint, computed
+// by the planner when the strand is compiled. The engine's intra-node
+// scheduler uses it to decide which strands of one fan-out (a single
+// delta or event firing several strands) may run concurrently: two
+// strands conflict iff their footprints share a table, because probing
+// a table mutates table-local state (lazy index creation, expiry
+// bookkeeping, scan scratch) even though declaratively it is a read.
+//
+// The footprint is conservative in the safe direction: a strand that
+// touches anything the analysis cannot account for — an impure builtin
+// whose value depends on execution order, or a planner-maintained
+// aggregate accumulator — is marked Impure and pinned to sequential
+// execution.
+type Footprint struct {
+	// Reads lists the tables probed by the strand's join elements,
+	// sorted and deduplicated. For aggregate delta strands this
+	// includes the rescanned trigger table itself.
+	Reads []string
+	// Write is the head predicate name: the table the strand inserts
+	// into or deletes from (or the event it emits — conservatively
+	// treated as a write either way, since materialization can change
+	// over the node's life).
+	Write string
+	// Impure marks strands whose conditions, assignments or head
+	// arguments call f_now, f_rand or f_randID: their results depend on
+	// the node's micro-clock or RNG cursor, so they must observe the
+	// exact sequential interleaving and never run speculatively.
+	Impure bool
+}
+
+// Conflicts reports whether two footprints share any table (reads or
+// writes on either side). Strands with intersecting footprints must run
+// in strand order on the same worker.
+func (f Footprint) Conflicts(g Footprint) bool {
+	for _, a := range f.tables() {
+		for _, b := range g.tables() {
+			if a == b && a != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (f Footprint) tables() []string {
+	if f.Write == "" {
+		return f.Reads
+	}
+	return append(append(make([]string, 0, len(f.Reads)+1), f.Reads...), f.Write)
+}

@@ -177,6 +177,10 @@ type Strand struct {
 	// AggPlan is non-nil when the planner proved the aggregate eligible
 	// for incremental maintenance (see planner's analyzeAggMaint).
 	AggPlan *AggPlan
+	// Footprint is the static read/write table footprint (see
+	// footprint.go); the engine's intra-node scheduler consults it to
+	// run non-conflicting strands of one fan-out concurrently.
+	Footprint Footprint
 	// Stages is the number of stateful (join) stages.
 	Stages int
 
@@ -250,6 +254,7 @@ const (
 	CostEval         = 10e-6   // per condition/assignment evaluation
 	CostHead         = 50e-6   // head construction + routing
 	CostTableOp      = 62.5e-6 // table insert/delete
+	CostWatch        = 62.5e-6 // delivering one watched tuple to the observer (calibrated like a table op)
 	CostMarshal      = 50e-6   // marshal or unmarshal one tuple
 	CostTraceTap     = 25e-6   // tracer tap + log-table bookkeeping (when tracing on)
 	CostStatsPublish = 30e-6   // snapshotting the counters for one stats publication

@@ -143,6 +143,16 @@ type Config struct {
 	// OnNewPeriodic is invoked when installing a program registers a
 	// new periodic trigger, so the driver can schedule it.
 	OnNewPeriodic func(p *Periodic)
+	// ExecMode selects the intra-node strand execution strategy (see
+	// parallel.go). The zero value ExecAuto batches wide fan-outs onto
+	// the worker pool and may be overridden process-wide by the
+	// P2GO_EXEC_MODE environment variable; an explicit ExecSingle or
+	// ExecMulti always wins over the environment.
+	ExecMode ExecMode
+	// Workers bounds the intra-node worker pool used for fan-out
+	// batching; 0 means GOMAXPROCS. Results are bit-identical to
+	// sequential execution regardless of the worker count.
+	Workers int
 }
 
 type queued struct {
@@ -217,8 +227,16 @@ type Node struct {
 	queryCounter int
 	micro        float64 // cost accumulated within the current task
 	inTask       bool    // a Handle* task is on the stack
-	queue        []queued
-	scratch      []byte // reusable marshal buffer for the send postamble
+	// queue is the cascade queue, consumed as a ring: queue[:qhead] is
+	// already processed (and zeroed), the tail is pending. See drain.
+	queue   []queued
+	qhead   int
+	scratch []byte // reusable marshal buffer for the send postamble
+	// deltaPlans/eventPlans cache the per-trigger fan-out conflict
+	// analysis (parallel.go); invalidated on install/uninstall.
+	deltaPlans  map[string]*fanoutPlan
+	eventPlans  map[string]*fanoutPlan
+	fanoutStats FanoutStats
 	// preamble holds the seed tuples injected via SeedLocal, in order;
 	// Rejoin replays them after a restart with soft-state loss (the
 	// bootstrap a real process re-runs when it comes back up).
@@ -236,6 +254,9 @@ func NewNode(cfg Config) *Node {
 	if cfg.Clock == nil {
 		cfg.Clock = func() float64 { return 0 }
 	}
+	if cfg.ExecMode == ExecAuto {
+		cfg.ExecMode = envExecMode
+	}
 	n := &Node{
 		cfg:          cfg,
 		store:        table.NewStore(),
@@ -248,6 +269,8 @@ func NewNode(cfg Config) *Node {
 		logSubs:      make(map[string]bool),
 		aggMaints:    make(map[*dataflow.Strand]*aggEntry),
 		perQuery:     make(map[string]*metrics.Query),
+		deltaPlans:   make(map[string]*fanoutPlan),
+		eventPlans:   make(map[string]*fanoutPlan),
 	}
 	n.sysStats = n.queryStats(SystemQuery)
 	n.curStats = n.sysStats
@@ -620,6 +643,7 @@ func (n *Node) UninstallQuery(id string) error {
 	if !ok {
 		return fmt.Errorf("engine: query %q is not installed", id)
 	}
+	n.invalidateFanoutPlans()
 	for _, s := range q.strands {
 		switch s.Trigger.Kind {
 		case dataflow.TriggerEvent:
@@ -716,6 +740,7 @@ func (n *Node) genLabel() string {
 }
 
 func (n *Node) installStrand(s *dataflow.Strand, q *query) {
+	n.invalidateFanoutPlans()
 	switch s.Trigger.Kind {
 	case dataflow.TriggerEvent:
 		n.eventStrands[s.Trigger.Name] = append(n.eventStrands[s.Trigger.Name], s)
@@ -835,7 +860,7 @@ func (n *Node) Preamble() []tuple.Tuple { return n.preamble }
 func (n *Node) Rejoin() float64 {
 	n.inTask = true
 	n.micro = 0
-	n.queue = n.queue[:0] // work queued in the dead process is gone
+	n.queue, n.qhead = n.queue[:0], 0 // work queued in the dead process is gone
 	for _, name := range n.store.Names() {
 		if name == RuleTableName || name == TableTableName || name == QueryTableName {
 			continue
@@ -880,15 +905,28 @@ func (n *Node) runTask(seed queued, startCost float64) float64 {
 	return n.micro
 }
 
+// drain consumes the cascade queue as a ring: processed slots are
+// zeroed and reclaimed by a head index plus periodic compaction (the
+// pattern simnet's host queue uses). A plain n.queue = n.queue[1:]
+// would pin every processed tuple in the backing array and force the
+// append side to reallocate as the sliced-away capacity runs out —
+// O(n^2) memory churn on deep cascades.
 func (n *Node) drain() {
-	for steps := 0; len(n.queue) > 0; steps++ {
+	for steps := 0; len(n.queue) > n.qhead; steps++ {
 		if steps > maxCascade {
-			n.ruleError("engine", fmt.Errorf("cascade exceeded %d steps; dropping %d queued tuples", maxCascade, len(n.queue)))
-			n.queue = n.queue[:0]
+			n.ruleError("engine", fmt.Errorf("cascade exceeded %d steps; dropping %d queued tuples", maxCascade, len(n.queue)-n.qhead))
+			n.queue, n.qhead = n.queue[:0], 0
 			return
 		}
-		q := n.queue[0]
-		n.queue = n.queue[1:]
+		q := n.queue[n.qhead]
+		n.queue[n.qhead] = queued{}
+		n.qhead++
+		if n.qhead == len(n.queue) {
+			n.queue, n.qhead = n.queue[:0], 0
+		} else if n.qhead >= 64 && n.qhead*2 >= len(n.queue) {
+			m := copy(n.queue, n.queue[n.qhead:])
+			n.queue, n.qhead = n.queue[:m], 0
+		}
 		n.processOne(q)
 	}
 }
@@ -911,6 +949,9 @@ func (n *Node) processOne(q queued) {
 		n.assignID(&t, q.src, q.srcID)
 	}
 	if n.watchRefs[t.Name] > 0 && n.cfg.OnWatch != nil {
+		// Delivering a watched tuple is CPU like any table op; between
+		// strands the bill lands in the system bucket.
+		n.bill(dataflow.CostWatch)
 		n.cfg.OnWatch(now, t)
 	}
 	if n.tracer != nil {
@@ -936,15 +977,11 @@ func (n *Node) processOne(q queued) {
 			return
 		}
 		if changed {
-			for _, s := range n.deltaStrands[t.Name] {
-				n.runStrand(s, t)
-			}
+			n.runStrands(fanoutDelta, t.Name, n.deltaStrands[t.Name], t)
 		}
 		return
 	}
-	for _, s := range n.eventStrands[t.Name] {
-		n.runStrand(s, t)
-	}
+	n.runStrands(fanoutEvent, t.Name, n.eventStrands[t.Name], t)
 }
 
 // runStrand runs one strand activation with its query's bucket receiving

@@ -1,0 +1,485 @@
+package engine
+
+// Intra-node parallel strand execution: when one delta or event fans
+// out to several strands, strands whose table footprints don't conflict
+// run concurrently on a per-node worker pool, speculatively, against a
+// frozen view of the node — and their buffered effects are merged in
+// canonical strand order, reproducing the sequential execution bit for
+// bit. This is the same determinism discipline the simnet parallel
+// driver applies at host granularity, pushed down to strand
+// granularity.
+//
+// Why speculation is exact. During a fan-out, strands never mutate the
+// store: head tuples are queued (by EmitHead), not inserted, so even
+// sequentially no strand in the batch observes another's writes. The
+// only channels by which strand i can influence strand j>i are:
+//
+//   - the micro-clock: every bill advances Node.micro, and Now() feeds
+//     table-expiry visibility, f_now, and send timestamps. Strands
+//     calling f_now/f_rand are statically pinned (Footprint.Impure),
+//     and expiry is handled by the window check below; send timestamps
+//     and error times are reconstructed exactly at merge by replaying
+//     each strand's bills in order.
+//   - table-local mutations of probing itself: expiry eviction, lazy
+//     index creation, bucket compaction, scan scratch. Eviction is
+//     excluded by the window check; the rest are table-local, and the
+//     conflict grouping serializes strands sharing a table.
+//
+// The expiry window check: speculation starts at micro-time m0 and the
+// batch bills a total of C seconds. If every table the batch reads
+// satisfies SoonestExpiry() > clock+m0 before the batch (no eviction
+// during speculation, so discarding buffers is always sound) and
+// SoonestExpiry() > clock+m0+C after it (no row sequential execution
+// would have seen expire mid-batch), then the frozen view each strand
+// probed at m0 equals the moving view sequential execution would have
+// probed at m0+P_i, and the speculation commits. Otherwise every buffer
+// is discarded and the whole fan-out re-runs on the ordinary sequential
+// path.
+//
+// Merging replays, per strand in canonical order, the exact effect
+// sequence the strand produced: bills advance the real micro-clock,
+// emissions go through the real EmitHead (assigning tuple IDs, queueing
+// cascades, marshaling and sending with exact timestamps), and rule
+// errors fire with the micro-clock at their original offset. Counters,
+// per-query bills, histograms, the cascade queue, and every send `at`
+// come out identical to sequential execution.
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"p2go/internal/dataflow"
+	"p2go/internal/table"
+	"p2go/internal/tuple"
+)
+
+// ExecMode selects the intra-node strand execution strategy.
+type ExecMode int
+
+const (
+	// ExecAuto (the default) stays sequential for small fan-outs —
+	// where worker handoff costs more than it buys — and batches
+	// fan-outs of autoFanoutMin or more strands onto the worker pool.
+	ExecAuto ExecMode = iota
+	// ExecSingle always runs strands sequentially (the classic
+	// single-threaded node).
+	ExecSingle
+	// ExecMulti batches every fan-out of two or more conflict groups.
+	ExecMulti
+)
+
+// autoFanoutMin is the fan-out width at which ExecAuto starts batching.
+const autoFanoutMin = 6
+
+// String implements fmt.Stringer.
+func (m ExecMode) String() string {
+	switch m {
+	case ExecSingle:
+		return "single"
+	case ExecMulti:
+		return "multi"
+	default:
+		return "auto"
+	}
+}
+
+// ParseExecMode parses "auto", "single" or "multi" (empty = auto).
+func ParseExecMode(s string) (ExecMode, error) {
+	switch s {
+	case "", "auto":
+		return ExecAuto, nil
+	case "single":
+		return ExecSingle, nil
+	case "multi":
+		return ExecMulti, nil
+	}
+	return ExecAuto, fmt.Errorf("engine: unknown exec mode %q (want auto, single or multi)", s)
+}
+
+// envExecMode is the process-wide P2GO_EXEC_MODE override, read once at
+// init like the other engine kill switches. It applies only to nodes
+// configured with ExecAuto: an explicit ExecSingle/ExecMulti in Config
+// wins, so differential tests can still pin both modes under a CI job
+// that forces multi.
+var envExecMode, _ = ParseExecMode(os.Getenv("P2GO_EXEC_MODE"))
+
+// fanoutPlan is the cached conflict analysis of one trigger's strand
+// list: the partition of strand indices into footprint-conflict groups
+// and the union of tables the batch reads. Invalidated whenever a query
+// install or uninstall changes the strand lists.
+type fanoutPlan struct {
+	// ok is false when the fan-out can never batch: fewer than two
+	// conflict groups, or a strand that is impure or carries a
+	// maintained aggregate accumulator (AggState touches node state).
+	ok bool
+	// groups holds strand indices per conflict group, each ascending;
+	// groups are ordered by their first member. Strands in one group
+	// share tables and run in order on one worker.
+	groups [][]int
+	// reads is the sorted union of the batch's read tables, checked
+	// against SoonestExpiry before and after speculation.
+	reads []string
+}
+
+// buildFanoutPlan partitions a trigger's strands into conflict groups
+// by union-find over their footprint tables.
+func buildFanoutPlan(ss []*dataflow.Strand) *fanoutPlan {
+	p := &fanoutPlan{}
+	if len(ss) < 2 {
+		return p
+	}
+	for _, s := range ss {
+		if s.Footprint.Impure || s.AggPlan != nil {
+			return p
+		}
+	}
+	parent := make([]int, len(ss))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if rb < ra {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra // smaller index becomes the root
+	}
+	owner := map[string]int{} // table name -> first strand touching it
+	readSet := map[string]bool{}
+	touch := func(i int, name string) {
+		if name == "" {
+			return
+		}
+		if o, seen := owner[name]; seen {
+			union(o, i)
+		} else {
+			owner[name] = i
+		}
+	}
+	for i, s := range ss {
+		for _, t := range s.Footprint.Reads {
+			touch(i, t)
+			readSet[t] = true
+		}
+		touch(i, s.Footprint.Write)
+	}
+	members := map[int][]int{}
+	var roots []int
+	for i := range ss {
+		r := find(i)
+		if _, seen := members[r]; !seen {
+			roots = append(roots, r) // ascending: roots are minimal members
+		}
+		members[r] = append(members[r], i)
+	}
+	if len(roots) < 2 {
+		return p
+	}
+	for _, r := range roots {
+		p.groups = append(p.groups, members[r])
+	}
+	for t := range readSet {
+		p.reads = append(p.reads, t)
+	}
+	sort.Strings(p.reads)
+	p.ok = true
+	return p
+}
+
+// fanoutPlanFor returns the cached plan for a trigger name, building it
+// on first use. kind distinguishes the delta and event namespaces.
+func (n *Node) fanoutPlanFor(kind uint8, name string, ss []*dataflow.Strand) *fanoutPlan {
+	plans := n.eventPlans
+	if kind == fanoutDelta {
+		plans = n.deltaPlans
+	}
+	p := plans[name]
+	if p == nil {
+		p = buildFanoutPlan(ss)
+		plans[name] = p
+	}
+	return p
+}
+
+const (
+	fanoutDelta uint8 = iota
+	fanoutEvent
+)
+
+// invalidateFanoutPlans drops every cached conflict analysis; called on
+// query install and uninstall (the only operations that change the
+// strand lists).
+func (n *Node) invalidateFanoutPlans() {
+	clear(n.deltaPlans)
+	clear(n.eventPlans)
+}
+
+// fanoutMin returns the minimum fan-out width at which this node
+// attempts batching, or MaxInt when batching is off.
+func (n *Node) fanoutMin() int {
+	switch n.cfg.ExecMode {
+	case ExecMulti:
+		return 2
+	case ExecSingle:
+		return math.MaxInt
+	default:
+		return autoFanoutMin
+	}
+}
+
+// runStrands dispatches one fan-out: the strands fired by a single
+// delta or event. Wide eligible fan-outs run speculatively on the
+// worker pool; everything else (and any speculation the expiry window
+// check rejects) takes the ordinary sequential loop.
+func (n *Node) runStrands(kind uint8, name string, ss []*dataflow.Strand, t tuple.Tuple) {
+	if len(ss) >= n.fanoutMin() && n.tracer == nil {
+		if p := n.fanoutPlanFor(kind, name, ss); p.ok && n.runFanout(p, ss, t) {
+			return
+		}
+	}
+	for _, s := range ss {
+		n.runStrand(s, t)
+	}
+}
+
+// specEffect is one buffered side effect of a speculative strand run,
+// in execution order. Replaying the sequence at merge time advances the
+// real micro-clock through exactly the values sequential execution saw.
+type specEffect struct {
+	kind     uint8
+	sec      float64     // specBill
+	t        tuple.Tuple // specEmit
+	isDelete bool        // specEmit
+	ruleID   string      // specErr
+	err      error       // specErr
+}
+
+const (
+	specBill uint8 = iota
+	specEmit
+	specErr
+)
+
+// specCtx is the buffered dataflow.Context one strand runs against
+// during speculation: reads go to the live store (safe under the expiry
+// window check and the conflict grouping), everything else is recorded.
+type specCtx struct {
+	n       *Node
+	s       *dataflow.Strand
+	now     float64 // frozen clock: task start + micro at fan-out entry
+	cost    float64 // bills accrued, marshal postamble included
+	effects []specEffect
+}
+
+// Now returns the frozen fan-out entry time. Sequential execution would
+// see later times as earlier strands bill; the expiry window check
+// guarantees the difference is unobservable, and f_now users are
+// statically pinned.
+func (c *specCtx) Now() float64 { return c.now }
+
+// Rand64 must be unreachable: strands calling f_rand/f_randID are
+// pinned by Footprint.Impure.
+func (c *specCtx) Rand64() uint64 {
+	panic("engine: Rand64 reached during speculative strand execution; planner footprint should have pinned this strand")
+}
+
+// LocalAddr implements overlog.Context.
+func (c *specCtx) LocalAddr() string { return c.n.cfg.Addr }
+
+// Table implements dataflow.Context (live reads; see file comment).
+func (c *specCtx) Table(name string) *table.Table { return c.n.store.Get(name) }
+
+// Bill buffers a charge to the strand's query bucket.
+func (c *specCtx) Bill(sec float64) {
+	c.cost += sec
+	c.effects = append(c.effects, specEffect{kind: specBill, sec: sec})
+}
+
+// EmitHead buffers a head emission. The only cost EmitHead itself bills
+// with tracing off is the marshal postamble of a remote send, predicted
+// here so the window check covers it; the merge replays the emission
+// through the real EmitHead, which re-makes the routing decision and
+// does the billing for real.
+func (c *specCtx) EmitHead(s *dataflow.Strand, t tuple.Tuple, isDelete bool) {
+	c.effects = append(c.effects, specEffect{kind: specEmit, t: t, isDelete: isDelete})
+	if !isDelete {
+		if dst := t.Loc(); dst != "" && dst != c.n.cfg.Addr {
+			c.cost += dataflow.CostMarshal
+		}
+	}
+}
+
+// AggState implements dataflow.Context. Strands with a maintained
+// accumulator are pinned, so this is unreachable; returning nil (the
+// rescan path) keeps it safe regardless.
+func (c *specCtx) AggState(*dataflow.Strand) *dataflow.AggMaint { return nil }
+
+// Tracer taps: batching is disabled whenever the tracer is on, so these
+// are pure no-ops, exactly like the node's own taps with tracer == nil.
+func (c *specCtx) TraceInput(*dataflow.Strand, tuple.Tuple)        {}
+func (c *specCtx) TracePrecond(*dataflow.Strand, int, tuple.Tuple) {}
+func (c *specCtx) TraceStageDone(*dataflow.Strand, int)            {}
+
+// RuleError buffers a runtime rule error; the merge refires it with the
+// micro-clock advanced to exactly the sequential error time.
+func (c *specCtx) RuleError(ruleID string, err error) {
+	c.effects = append(c.effects, specEffect{kind: specErr, ruleID: ruleID, err: err})
+}
+
+// FanoutStats counts the intra-node scheduler's speculation outcomes.
+// These are observability counters outside the determinism contract:
+// they necessarily differ between ExecSingle and ExecMulti (which is
+// why they live beside, not inside, metrics.Node).
+type FanoutStats struct {
+	// Committed counts fan-out batches whose speculation merged.
+	Committed int64
+	// Aborted counts speculations discarded by the expiry window check
+	// (the fan-out then re-ran sequentially).
+	Aborted int64
+	// SeqSeconds is the summed cost-model seconds of all committed
+	// batches — what the batches cost a one-worker node.
+	SeqSeconds float64
+	// ParSeconds is the modeled makespan of the same batches on the
+	// node's worker pool: each batch's conflict groups list-scheduled
+	// (in pull order, earliest-free worker first) over the pool, using
+	// the groups' billed costs as their durations. SeqSeconds/ParSeconds
+	// is the batches' cost-model speedup — the wall speedup an executor
+	// with that many real cores would see on this workload, independent
+	// of how many cores the benchmarking host happens to have.
+	ParSeconds float64
+}
+
+// FanoutStats returns the node's speculation counters.
+func (n *Node) FanoutStats() FanoutStats { return n.fanoutStats }
+
+// runFanout executes one eligible fan-out speculatively. It returns
+// true when the speculation committed; false means nothing semantically
+// visible happened and the caller must run the sequential loop.
+func (n *Node) runFanout(p *fanoutPlan, ss []*dataflow.Strand, t tuple.Tuple) bool {
+	workers := n.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 2 {
+		return false
+	}
+	clock := n.Now()
+	// Pre-check: no read table may expire at the frozen probe time, so
+	// probes during speculation cannot evict rows or fire listeners —
+	// which is what makes discarding the buffers sound.
+	for _, name := range p.reads {
+		if tb := n.store.Get(name); tb != nil && tb.SoonestExpiry() <= clock {
+			n.fanoutStats.Aborted++
+			return false
+		}
+	}
+	specs := make([]specCtx, len(ss))
+	for i := range specs {
+		specs[i] = specCtx{n: n, s: ss[i], now: clock}
+	}
+	runGroup := func(g []int) {
+		for _, si := range g {
+			c := &specs[si]
+			c.s.Run(c, t)
+		}
+	}
+	k := min(workers, len(p.groups))
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(k)
+	for w := 0; w < k; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				gi := int(next.Add(1)) - 1
+				if gi >= len(p.groups) {
+					return
+				}
+				runGroup(p.groups[gi])
+			}
+		}()
+	}
+	wg.Wait()
+	// Post-check: sequential execution probes at times up to clock+C.
+	// A row expiring inside (clock, clock+C] would have been invisible
+	// (and evicted, with listener side effects) partway through the
+	// sequential batch; the frozen view kept it. Discard and re-run.
+	total := 0.0
+	for i := range specs {
+		total += specs[i].cost
+	}
+	for _, name := range p.reads {
+		if tb := n.store.Get(name); tb != nil && tb.SoonestExpiry() <= clock+total {
+			n.fanoutStats.Aborted++
+			return false
+		}
+	}
+	// Modeled makespan: list-schedule the groups' billed costs over the
+	// worker pool in pull order (each group to the earliest-free worker,
+	// matching the dynamic next-counter the real workers use). The
+	// accumulated Seq/ParSeconds give the batches' cost-model speedup.
+	finish := make([]float64, min(workers, len(p.groups)))
+	for _, g := range p.groups {
+		w := 0
+		for j := 1; j < len(finish); j++ {
+			if finish[j] < finish[w] {
+				w = j
+			}
+		}
+		for _, si := range g {
+			finish[w] += specs[si].cost
+		}
+	}
+	par := 0.0
+	for _, f := range finish {
+		par = max(par, f)
+	}
+	n.fanoutStats.SeqSeconds += total
+	n.fanoutStats.ParSeconds += par
+	// Commit: merge per strand in canonical order. This mirrors
+	// runStrand exactly, with s.Run replaced by the effect replay.
+	for i := range specs {
+		n.mergeSpec(&specs[i])
+	}
+	n.fanoutStats.Committed++
+	return true
+}
+
+// mergeSpec applies one speculative strand's buffered effects on the
+// node, in order, reproducing the sequential runStrand bit for bit.
+func (n *Node) mergeSpec(c *specCtx) {
+	n.met.RuleFires++
+	prev := n.curStats
+	n.curStats = n.queryStats(c.s.QueryID)
+	n.curStats.RuleFires++
+	start := n.micro
+	for i := range c.effects {
+		e := &c.effects[i]
+		switch e.kind {
+		case specBill:
+			n.bill(e.sec)
+		case specEmit:
+			n.EmitHead(c.s, e.t, e.isDelete)
+		case specErr:
+			n.ruleError(e.ruleID, e.err)
+		}
+	}
+	n.hists.StrandCost.Observe(n.micro - start)
+	n.curStats = prev
+}

@@ -1,0 +1,204 @@
+package engine_test
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"p2go/internal/engine"
+	"p2go/internal/overlog"
+	"p2go/internal/tuple"
+)
+
+// wideProgram builds `rules` independent rules sharing the tick trigger,
+// each scanning its own table — the widest conflict-free fan-out shape.
+func wideProgram(t *testing.T, rules int, lifetime string) *overlog.Program {
+	t.Helper()
+	var b strings.Builder
+	for i := 0; i < rules; i++ {
+		fmt.Fprintf(&b, "materialize(t%d, %s, infinity, keys(2)).\n", i, lifetime)
+		fmt.Fprintf(&b, "r%d out%d@N(A, C) :- tick@N(E), t%d@N(A, B), B < 2, C := B + %d.\n",
+			i, i, i, i)
+	}
+	prog, err := overlog.Parse(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// fingerprint captures the determinism contract for one standalone node:
+// metrics, per-query bills, histograms, and every table row with its
+// node-unique tuple ID.
+func fingerprint(n *engine.Node) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "met=%+v\n", n.Metrics())
+	qm := n.QueryMetrics()
+	ids := make([]string, 0, len(qm))
+	for id := range qm {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "q %s=%+v\n", id, qm[id])
+	}
+	h := n.Hists()
+	fmt.Fprintf(&b, "hists=%s|%s\n", h.StrandCost.Encode(), h.QueueDepth.Encode())
+	for _, name := range n.Store().Names() {
+		var rows []string
+		n.Store().Get(name).Scan(0, func(t tuple.Tuple) {
+			rows = append(rows, fmt.Sprintf("%v#%d", t, t.ID))
+		})
+		sort.Strings(rows)
+		fmt.Fprintf(&b, "%s(%d): %s\n", name, len(rows), strings.Join(rows, " "))
+	}
+	return b.String()
+}
+
+// runWide seeds the wide program's tables and fires `ticks` tick events.
+func runWide(t *testing.T, n *engine.Node, prog *overlog.Program, rules, rows, ticks int) {
+	t.Helper()
+	if err := n.InstallProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rules; i++ {
+		name := fmt.Sprintf("t%d", i)
+		for j := 0; j < rows; j++ {
+			n.HandleLocal(tuple.New(name, tuple.Str("n1"), tuple.Int(int64(j)), tuple.Int(int64(j))))
+		}
+	}
+	for k := 0; k < ticks; k++ {
+		n.HandleLocal(tuple.New("tick", tuple.Str("n1"), tuple.Int(int64(k))))
+	}
+}
+
+// TestFanoutMultiMatchesSingle is the core determinism gate of the
+// intra-node scheduler: ExecMulti on a wide conflict-free fan-out must
+// be bit-identical to ExecSingle — same counters, same per-query bills,
+// same histograms, same tuple IDs — while actually committing batches.
+func TestFanoutMultiMatchesSingle(t *testing.T) {
+	const rules, rows, ticks = 12, 50, 5
+	build := func(mode engine.ExecMode) (*engine.Node, string) {
+		n := engine.NewNode(engine.Config{Addr: "n1", Seed: 3, ExecMode: mode, Workers: 4})
+		runWide(t, n, wideProgram(t, rules, "infinity"), rules, rows, ticks)
+		return n, fingerprint(n)
+	}
+	_, single := build(engine.ExecSingle)
+	multi, got := build(engine.ExecMulti)
+	if got != single {
+		t.Fatalf("ExecMulti diverged from ExecSingle:\nsingle:\n%s\nmulti:\n%s", single, got)
+	}
+	fan := multi.FanoutStats()
+	if fan.Committed != int64(ticks) {
+		t.Errorf("Committed = %d, want %d (one batch per tick)", fan.Committed, ticks)
+	}
+	if fan.Aborted != 0 {
+		t.Errorf("Aborted = %d, want 0 (infinite lifetimes never trip the window check)", fan.Aborted)
+	}
+	if fan.SeqSeconds <= fan.ParSeconds || fan.ParSeconds <= 0 {
+		t.Errorf("modeled costs seq=%g par=%g, want 0 < par < seq", fan.SeqSeconds, fan.ParSeconds)
+	}
+}
+
+// TestFanoutExpiryAbort drives the speculation down its bail-out path:
+// soft-state tables whose lifetime is shorter than the batch's billed
+// cost trip the post-speculation expiry window check, the buffers are
+// discarded, and the fan-out re-runs sequentially — still bit-identical
+// to ExecSingle.
+func TestFanoutExpiryAbort(t *testing.T) {
+	// 6 strands x 1000 probes x 17.5 µs ≈ 105 ms of billed cost; rows
+	// inserted near clock 0 with a 50 ms lifetime expire inside that
+	// window, so every batch must abort.
+	const rules, rows, ticks = 6, 1000, 3
+	build := func(mode engine.ExecMode) (*engine.Node, string) {
+		n := engine.NewNode(engine.Config{Addr: "n1", Seed: 3, ExecMode: mode, Workers: 4})
+		runWide(t, n, wideProgram(t, rules, "0.05"), rules, rows, ticks)
+		return n, fingerprint(n)
+	}
+	_, single := build(engine.ExecSingle)
+	multi, got := build(engine.ExecMulti)
+	if got != single {
+		t.Fatalf("ExecMulti diverged from ExecSingle on the abort path:\nsingle:\n%s\nmulti:\n%s", single, got)
+	}
+	fan := multi.FanoutStats()
+	if fan.Aborted == 0 {
+		t.Error("Aborted = 0: the expiry window check never fired; the test no longer covers the bail-out path")
+	}
+}
+
+// TestParseExecMode pins the flag/env surface of the scheduler.
+func TestParseExecMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want engine.ExecMode
+		ok   bool
+	}{
+		{"", engine.ExecAuto, true},
+		{"auto", engine.ExecAuto, true},
+		{"single", engine.ExecSingle, true},
+		{"multi", engine.ExecMulti, true},
+		{"both", engine.ExecAuto, false},
+	}
+	for _, c := range cases {
+		got, err := engine.ParseExecMode(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParseExecMode(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+	for _, m := range []engine.ExecMode{engine.ExecAuto, engine.ExecSingle, engine.ExecMulti} {
+		back, err := engine.ParseExecMode(m.String())
+		if err != nil || back != m {
+			t.Errorf("round-trip %v: got %v, %v", m, back, err)
+		}
+	}
+}
+
+// TestDrainQueueAllocs is the regression test for the drain queue leak:
+// the old `n.queue = n.queue[1:]` pop shrank the slice's capacity on
+// every step, so a deep steady-state cascade reallocated the whole
+// backing array roughly once per emission — O(depth) fresh bytes per
+// pop. The ring-buffer drain recycles slots, so a long cascade's
+// allocations are dominated by the tuples themselves.
+func TestDrainQueueAllocs(t *testing.T) {
+	const seedRows, hops = 128, 200
+	prog, err := overlog.Parse(`
+materialize(seedt, infinity, infinity, keys(2)).
+r0 hop@N(A, B) :- kick@N(X), seedt@N(A), B := ` + fmt.Sprint(hops) + `.
+r1 hop@N(A, J) :- hop@N(A, K), K > 0, J := K - 1.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := engine.NewNode(engine.Config{Addr: "n1", Seed: 1})
+	if err := n.InstallProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < seedRows; j++ {
+		n.HandleLocal(tuple.New("seedt", tuple.Str("n1"), tuple.Int(int64(j))))
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	// One kick floods the queue with seedRows hop chains that count
+	// down in lockstep: the queue holds ~seedRows entries for
+	// seedRows*hops pops — the exact shape that made the old pop
+	// quadratic in total bytes allocated.
+	n.HandleLocal(tuple.New("kick", tuple.Str("n1"), tuple.Int(0)))
+	runtime.ReadMemStats(&after)
+
+	pops := n.Metrics().TuplesProcessed
+	if pops < seedRows*hops {
+		t.Fatalf("cascade too short: processed %d tuples, want >= %d", pops, seedRows*hops)
+	}
+	perPop := float64(after.TotalAlloc-before.TotalAlloc) / float64(pops)
+	// The emitted hop tuple itself costs ~175 B/pop; the ring-buffer
+	// drain adds nothing on top (measured ~178 B/pop). The old reslice
+	// pop leaked the queue's backing array — capacity shrank by one per
+	// pop, so steady-state churn reallocated the array every ~depth
+	// pops, measured at ~335 B/pop on this workload. 250 B/pop sits
+	// between the two with ~40% margin each way.
+	if perPop > 250 {
+		t.Errorf("drain allocated %.0f B/pop over a %d-pop cascade, want <= 250 (queue pop is leaking its backing array again)", perPop, pops)
+	}
+}

@@ -1,0 +1,72 @@
+package planner
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFootprintReadsSortedDeduped pins the static footprint the
+// intra-node scheduler groups strands by: Reads is the sorted, deduped
+// set of joined tables, Write is the head predicate, and a rule built
+// purely from joins, comparisons and arithmetic is not Impure.
+func TestFootprintReadsSortedDeduped(t *testing.T) {
+	strands := plan(t,
+		`r1 out@N(A, B, C) :- ev@N(A), zz@N(A, B), aa@N(A, C), zz@N(B, C).`,
+		env("zz", "aa"))
+	if len(strands) != 1 {
+		t.Fatalf("got %d strands, want 1", len(strands))
+	}
+	fp := strands[0].Footprint
+	if want := []string{"aa", "zz"}; !reflect.DeepEqual(fp.Reads, want) {
+		t.Errorf("Reads = %v, want %v (sorted, deduped)", fp.Reads, want)
+	}
+	if fp.Write != "out" {
+		t.Errorf("Write = %q, want %q", fp.Write, "out")
+	}
+	if fp.Impure {
+		t.Error("Impure = true for a pure join/compare rule")
+	}
+}
+
+// TestFootprintImpure pins impurity detection: any expression touching
+// the node clock or RNG must mark the strand, because those values
+// depend on the micro-clock position within the fan-out and pin the
+// strand to sequential execution.
+func TestFootprintImpure(t *testing.T) {
+	cases := map[string]string{
+		"assign f_now":  `r1 out@N(A, T) :- ev@N(A), T := f_now().`,
+		"cond f_now":    `r1 out@N(A) :- ev@N(A), tab@N(A, B), B < f_now().`,
+		"assign f_rand": `r1 out@N(A, E) :- ev@N(A), E := f_rand().`,
+	}
+	for name, src := range cases {
+		strands := plan(t, src, env("tab"))
+		for _, s := range strands {
+			if !s.Footprint.Impure {
+				t.Errorf("%s: strand %v not marked Impure", name, s)
+			}
+		}
+	}
+}
+
+// TestFootprintDeltaStrands checks that every delta strand of an
+// all-materialized rule carries its own footprint: same head write,
+// reads covering the joined (non-trigger) tables.
+func TestFootprintDeltaStrands(t *testing.T) {
+	strands := plan(t, `r1 out@N(A, B) :- t1@N(A), t2@N(A, B).`,
+		env("t1", "t2", "out"))
+	if len(strands) < 2 {
+		t.Fatalf("got %d strands, want one per body table", len(strands))
+	}
+	for _, s := range strands {
+		fp := s.Footprint
+		if fp.Write != "out" {
+			t.Errorf("strand %v: Write = %q, want %q", s, fp.Write, "out")
+		}
+		if len(fp.Reads) == 0 {
+			t.Errorf("strand %v: no Reads recorded; each delta strand joins the other table", s)
+		}
+		if fp.Impure {
+			t.Errorf("strand %v: Impure = true for a pure join rule", s)
+		}
+	}
+}

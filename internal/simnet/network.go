@@ -47,6 +47,14 @@ type Config struct {
 	// Workers bounds the Parallel driver's worker pool; 0 means
 	// GOMAXPROCS. Ignored in Sequential mode.
 	Workers int
+	// ExecMode selects each node's intra-node strand execution strategy
+	// (engine.ExecAuto/ExecSingle/ExecMulti). Orthogonal to Mode: the
+	// two parallelism layers compose, and results are bit-identical
+	// across all four combinations.
+	ExecMode engine.ExecMode
+	// NodeWorkers bounds each node's intra-node worker pool; 0 means
+	// GOMAXPROCS.
+	NodeWorkers int
 	// Tracing, when non-nil, enables execution logging on every node.
 	Tracing *trace.Config
 	// OnWatch and OnRuleError hook watched tuples and rule errors; the
@@ -225,9 +233,11 @@ func (n *Network) AddNode(addr string) (*engine.Node, error) {
 		links:  make(map[string]*link),
 	}
 	cfg := engine.Config{
-		Addr:  addr,
-		Seed:  n.rng.Int63(),
-		Clock: func() float64 { return n.hostClock(h) },
+		Addr:     addr,
+		Seed:     n.rng.Int63(),
+		ExecMode: n.cfg.ExecMode,
+		Workers:  n.cfg.NodeWorkers,
+		Clock:    func() float64 { return n.hostClock(h) },
 		Send: func(dst string, env engine.Envelope, at float64) {
 			n.deliver(h, dst, env, at)
 		},
