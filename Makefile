@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test check cover bench bench-smoke bench-churn bench-lifecycle bench-trace bench-profiler bench-agg bench-intranode fuzz examples tidy
+.PHONY: build test check cover bench bench-smoke bench-churn bench-lifecycle bench-trace bench-profiler bench-agg bench-intranode bench-forensics fuzz examples tidy
 
 build:
 	go build ./...
@@ -65,10 +65,18 @@ bench-agg:
 bench-intranode:
 	go run ./cmd/p2bench -exp intranode -json
 
+# Durable trace store forensics: traced churn with the store off vs on
+# (write overhead, bytes/record, restart markers), ancestor-query latency
+# at 1/10/100-window horizons, and the (store)x(driver) determinism
+# matrix; writes BENCH_forensics.json.
+bench-forensics:
+	go run ./cmd/p2bench -exp forensics -json
+
 fuzz:
 	go test -run '^$$' -fuzz FuzzUnmarshal -fuzztime 30s ./internal/tuple/
 	go test -run '^$$' -fuzz FuzzValueCodec -fuzztime 30s ./internal/tuple/
 	go test -run '^$$' -fuzz FuzzParse -fuzztime 30s ./internal/overlog/
+	go test -run '^$$' -fuzz FuzzSegmentRoundTrip -fuzztime 30s ./internal/tracestore/
 
 examples:
 	go run ./examples/quickstart

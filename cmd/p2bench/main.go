@@ -17,6 +17,7 @@
 //	p2bench -exp trace          # export a causal Chrome trace + Prometheus scrape
 //	p2bench -exp profiler       # stats-publication overhead on the churn run
 //	p2bench -exp intranode      # intra-node strand scheduler speedup sweep
+//	p2bench -exp forensics      # durable trace store: overhead + lineage queries
 //
 // -parallel runs every ring on simnet's conservative parallel driver
 // (same virtual-time results, different wall clock); -workers bounds its
@@ -40,13 +41,13 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: logging, fig4, fig5, fig6, fig7, smoke, ablation, churn, lifecycle, scenario, trace, profiler, intranode, all")
+		exp      = flag.String("exp", "all", "experiment: logging, fig4, fig5, fig6, fig7, smoke, ablation, churn, lifecycle, scenario, trace, profiler, intranode, forensics, all")
 		seed     = flag.Int64("seed", 42, "random seed")
 		parallel = flag.Bool("parallel", false, "run rings on the conservative parallel simnet driver")
 		workers  = flag.Int("workers", 0, "parallel worker pool size (0 = GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "also write each experiment's result to BENCH_<exp>.json")
 		scenario = flag.String("scenario", "", "fault scenario file for -exp scenario (see internal/faults.Parse)")
-		quick    = flag.Bool("quick", false, "shrink -exp lifecycle/trace/intranode to a smoke-sized run (CI)")
+		quick    = flag.Bool("quick", false, "shrink -exp lifecycle/trace/intranode/forensics to a smoke-sized run (CI)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -233,6 +234,25 @@ func main() {
 			}
 			if !res.RingMatch {
 				log.Fatal("determinism contract violated: (ExecMode x simnet driver) rings disagree")
+			}
+			payload = res
+		case "forensics":
+			res, err := bench.Forensics(*seed, *quick)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(bench.FormatForensics(res))
+			if res.OverheadPercent > 10 {
+				log.Fatalf("forensics contract violated: store write overhead %.2f%% BusySeconds, want <= 10%%", res.OverheadPercent)
+			}
+			if !res.FingerprintOK {
+				log.Fatal("determinism contract violated: attaching the trace store perturbed emissions")
+			}
+			if res.RestartMarks < res.Victims {
+				log.Fatalf("forensics contract violated: %d restart markers for %d victims", res.RestartMarks, res.Victims)
+			}
+			if res.AccountingErr != "" {
+				log.Fatal("per-query accounting invariant violated")
 			}
 			payload = res
 		case "scenario":

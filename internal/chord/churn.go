@@ -8,6 +8,8 @@ import (
 	"p2go/internal/faults"
 	"p2go/internal/metrics"
 	"p2go/internal/overlog"
+	"p2go/internal/trace"
+	"p2go/internal/tracestore"
 	"p2go/internal/tuple"
 )
 
@@ -61,6 +63,13 @@ type ChurnConfig struct {
 	// node (see RingConfig.StatsPeriod) — used by the overhead
 	// measurement comparing churn runs with publication on and off.
 	StatsPeriod float64
+	// Tracing enables execution logging on every node; TraceStore
+	// additionally writes every trace record through the durable store
+	// (see RingConfig). Used by the forensics experiment, which runs
+	// churn with the store on and off and investigates the crash
+	// afterwards from the store alone.
+	Tracing    *trace.Config
+	TraceStore *tracestore.Config
 }
 
 func (c ChurnConfig) withDefaults() ChurnConfig {
@@ -161,6 +170,8 @@ func RunChurn(cfg ChurnConfig) (*Ring, ChurnResult, error) {
 		ExecMode: cfg.ExecMode, NodeWorkers: cfg.NodeWorkers,
 		ExtraPrograms: cfg.Detectors,
 		StatsPeriod:   cfg.StatsPeriod,
+		Tracing:       cfg.Tracing,
+		TraceStore:    cfg.TraceStore,
 	})
 	if err != nil {
 		return nil, ChurnResult{}, err

@@ -8,6 +8,7 @@ import (
 	"p2go/internal/overlog"
 	"p2go/internal/simnet"
 	"p2go/internal/trace"
+	"p2go/internal/tracestore"
 	"p2go/internal/tuple"
 )
 
@@ -20,6 +21,9 @@ type RingConfig struct {
 	Seed int64
 	// Tracing enables execution logging on every node.
 	Tracing *trace.Config
+	// TraceStore gives every traced node a durable append-only trace
+	// store (requires Tracing; see engine.Config.TraceStore).
+	TraceStore *tracestore.Config
 	// LossProb drops messages with this probability.
 	LossProb float64
 	// Buggy installs the Chord variant without the dead-neighbor guard
@@ -98,6 +102,7 @@ func NewRing(cfg RingConfig) (*Ring, error) {
 		ExecMode:    cfg.ExecMode,
 		NodeWorkers: cfg.NodeWorkers,
 		Tracing:     cfg.Tracing,
+		TraceStore:  cfg.TraceStore,
 		OnWatch: func(now float64, node string, t tuple.Tuple) {
 			r.Watched = append(r.Watched, WatchedTuple{At: now, Node: node, T: t})
 			if cfg.OnWatch != nil {

@@ -260,6 +260,8 @@ const (
 	CostStatsPublish = 30e-6   // snapshotting the counters for one stats publication
 	CostAggApply     = 20e-6   // incremental accumulator update for one table delta
 	CostAggEmit      = 25e-6   // accumulator lookup + group filter per trigger
+	CostStoreAppend  = 2e-6    // one record into the trace store's active segment
+	CostStoreSeal    = 1e-6    // per record encoded when a segment seals (amortized)
 )
 
 // completion receives each fully bound pipeline result: nil means emit a

@@ -20,6 +20,7 @@ package engine
 
 import (
 	"fmt"
+	"os"
 	"sort"
 
 	"math/rand"
@@ -30,6 +31,7 @@ import (
 	"p2go/internal/planner"
 	"p2go/internal/table"
 	"p2go/internal/trace"
+	"p2go/internal/tracestore"
 	"p2go/internal/tuple"
 )
 
@@ -153,6 +155,11 @@ type Config struct {
 	// batching; 0 means GOMAXPROCS. Results are bit-identical to
 	// sequential execution regardless of the worker count.
 	Workers int
+	// TraceStore, when non-nil and Enabled, gives the tracer a durable
+	// append-only trace store (forensic log); it has no effect unless
+	// tracing is enabled too. The P2GO_DISABLE_TRACESTORE environment
+	// variable force-disables it process-wide (kill switch).
+	TraceStore *tracestore.Config
 }
 
 type queued struct {
@@ -360,6 +367,15 @@ func (n *Node) QueryMetrics() map[string]metrics.Query {
 // Tracer returns the execution tracer, or nil when tracing is off.
 func (n *Node) Tracer() *trace.Tracer { return n.tracer }
 
+// TraceStore returns the durable trace store, or nil when tracing or
+// the store is off.
+func (n *Node) TraceStore() *tracestore.Store {
+	if n.tracer == nil {
+		return nil
+	}
+	return n.tracer.Store()
+}
+
 // Periodics returns all registered periodic triggers.
 func (n *Node) Periodics() []*Periodic { return n.periodics }
 
@@ -374,8 +390,17 @@ func (n *Node) HasQuery(id string) bool {
 	return ok
 }
 
+// traceStoreKilled reports the process-wide trace-store kill switch,
+// read once at startup like the other P2GO_* overrides.
+var traceStoreKilled = os.Getenv("P2GO_DISABLE_TRACESTORE") != ""
+
 // EnableTracing turns on execution logging: every strand's taps feed the
-// tracer, and ruleExec/tupleTable appear in the store.
+// tracer, and ruleExec/tupleTable appear in the store. When
+// Config.TraceStore is set and enabled, the tracer additionally writes
+// every trace record through a durable append-only store; the append
+// CPU is billed offline to the system bucket (real work the operator
+// pays for, but asynchronous to the dataflow — it never moves the
+// micro-clock, so emissions and tuple IDs are identical store on/off).
 func (n *Node) EnableTracing(cfg trace.Config) error {
 	if n.tracer != nil {
 		return nil
@@ -385,6 +410,13 @@ func (n *Node) EnableTracing(cfg trace.Config) error {
 		return err
 	}
 	n.tracer = tr
+	if sc := n.cfg.TraceStore; sc != nil && sc.Enabled && !traceStoreKilled {
+		st := tracestore.New(n.cfg.Addr, *sc)
+		tr.AttachStore(st, func(appended, sealed int) {
+			n.billOffline(float64(appended)*dataflow.CostStoreAppend +
+				float64(sealed)*dataflow.CostStoreSeal)
+		})
+	}
 	// Tracing-enabled nodes use the rescan path for full precondition
 	// provenance: drop the incremental accumulators and their listeners.
 	for s, e := range n.aggMaints {
@@ -869,7 +901,12 @@ func (n *Node) Rejoin() float64 {
 		n.bill(dataflow.CostTableOp)
 	}
 	if n.tracer != nil {
-		n.tracer.Reset() // memoized provenance died with the trace tables
+		// Reset purges the trace tables again (idempotent after the loop
+		// above) and, crucially, drops memoized provenance: the restarted
+		// node reuses tuple IDs, so stale refcounts must not survive to
+		// release post-restart entries. The trace store keeps its history
+		// and records the restart marker.
+		n.tracer.Reset(n.Now())
 	}
 	for _, t := range n.preamble {
 		n.queue = append(n.queue, queued{t: t.WithID(0), src: n.cfg.Addr})
@@ -1053,7 +1090,7 @@ func (n *Node) assignID(t *tuple.Tuple, src string, srcID uint64) uint64 {
 		if dst == "" {
 			dst = n.cfg.Addr
 		}
-		n.tracer.Register(id, *t, src, srcID, dst)
+		n.tracer.Register(id, *t, src, srcID, dst, n.Now())
 	}
 	return id
 }
@@ -1084,6 +1121,16 @@ func (n *Node) bill(sec float64) { n.billTo(n.curStats, sec) }
 // billSystem charges the reserved system query regardless of which
 // strand is running (the network pre/postamble).
 func (n *Node) billSystem(sec float64) { n.billTo(n.sysStats, sec) }
+
+// billOffline charges work that is real CPU but asynchronous to the
+// dataflow — the trace-store appender. It lands in the node total and
+// the system bucket (so per-query bills keep summing to node totals)
+// but does NOT advance the task micro-clock: offline work never
+// perturbs virtual time, emissions, or tuple IDs.
+func (n *Node) billOffline(sec float64) {
+	n.met.BusySeconds += sec
+	n.sysStats.BusySeconds += sec
+}
 
 func (n *Node) ruleError(ruleID string, err error) {
 	n.met.RuleErrors++

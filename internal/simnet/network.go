@@ -10,6 +10,7 @@ import (
 	"p2go/internal/engine"
 	"p2go/internal/metrics"
 	"p2go/internal/trace"
+	"p2go/internal/tracestore"
 	"p2go/internal/tuple"
 )
 
@@ -57,6 +58,10 @@ type Config struct {
 	NodeWorkers int
 	// Tracing, when non-nil, enables execution logging on every node.
 	Tracing *trace.Config
+	// TraceStore, when non-nil and Enabled, gives every traced node a
+	// durable append-only trace store (requires Tracing; see
+	// engine.Config.TraceStore).
+	TraceStore *tracestore.Config
 	// OnWatch and OnRuleError hook watched tuples and rule errors; the
 	// node address is prepended. In Parallel mode they are buffered
 	// during a window and replayed in virtual-time order at the window
@@ -233,11 +238,12 @@ func (n *Network) AddNode(addr string) (*engine.Node, error) {
 		links:  make(map[string]*link),
 	}
 	cfg := engine.Config{
-		Addr:     addr,
-		Seed:     n.rng.Int63(),
-		ExecMode: n.cfg.ExecMode,
-		Workers:  n.cfg.NodeWorkers,
-		Clock:    func() float64 { return n.hostClock(h) },
+		Addr:       addr,
+		Seed:       n.rng.Int63(),
+		ExecMode:   n.cfg.ExecMode,
+		Workers:    n.cfg.NodeWorkers,
+		TraceStore: n.cfg.TraceStore,
+		Clock:      func() float64 { return n.hostClock(h) },
 		Send: func(dst string, env engine.Envelope, at float64) {
 			n.deliver(h, dst, env, at)
 		},

@@ -6,22 +6,24 @@ import (
 	"sort"
 
 	"p2go/internal/table"
+	"p2go/internal/tracestore"
 	"p2go/internal/tuple"
 )
 
-// Chrome trace-event export: walks the causal trace state the tracer
-// maintains — ruleExec rows for rule activations, tupleTable rows for
-// cross-node tuple provenance — and renders it in the Chrome
-// trace-event JSON format (the chrome://tracing / Perfetto "JSON Array
-// with metadata" flavour). Each node becomes one process, each rule one
-// named thread within it, each traced activation a complete ("X")
-// event, and each tuple that crossed nodes a flow arrow ("s"/"f") from
-// the activation that produced it to the first activation that consumed
-// it on the receiving node.
+// Chrome trace-event export: renders the causal trace — ruleExec rows
+// for rule activations, cross-node tuple provenance for flow arrows —
+// in the Chrome trace-event JSON format (the chrome://tracing /
+// Perfetto "JSON Array with metadata" flavour). Each node becomes one
+// process, each rule one named thread within it, each traced activation
+// a complete ("X") event, and each tuple that crossed nodes a flow
+// arrow ("s"/"f") from the activation that produced it to the first
+// activation that consumed it on the receiving node.
 //
-// The export is a pure read of the trace tables: what aged out of
-// ruleExec (TTL or eviction) is gone from the trace too, exactly as
-// §3.4's bounded-resource tracing intends.
+// Two front ends share one renderer: ExportChrome reads the live trace
+// tables (what aged out of ruleExec is gone from the trace too, exactly
+// as §3.4's bounded-resource tracing intends), and ExportChromeStore
+// reads the durable trace store, so the same visualization is available
+// hours later, after the soft-state tables have long since flushed.
 
 // ExportNode is one node's view handed to ExportChrome: its address,
 // its table store (holding ruleExec and tupleTable), and the virtual
@@ -73,6 +75,22 @@ type execRow struct {
 	pid, tid  int
 }
 
+// exportHop is one cross-node provenance edge: the tuple known locally
+// as id was sent by src, where it was known as srcID.
+type exportHop struct {
+	id    uint64
+	src   string
+	srcID uint64
+}
+
+// exportSource is one node's worth of render input. Callers must pass
+// sources sorted by address; rows and hops may be unsorted.
+type exportSource struct {
+	addr string
+	rows []*execRow
+	hops []exportHop
+}
+
 // ExportChrome walks every node's ruleExec and tupleTable rows and
 // writes one Chrome trace-event JSON document to w. Output is
 // deterministic for equal table contents: nodes sort by address, rows
@@ -80,7 +98,94 @@ type execRow struct {
 func ExportChrome(w io.Writer, nodes []ExportNode) (ChromeStats, error) {
 	sorted := append([]ExportNode(nil), nodes...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Addr < sorted[j].Addr })
+	srcs := make([]exportSource, 0, len(sorted))
+	for _, en := range sorted {
+		src := exportSource{addr: en.Addr}
+		if tb := en.Store.Get(RuleExecTable); tb != nil {
+			tb.Scan(en.Now, func(t tuple.Tuple) {
+				if t.Arity() < 7 {
+					return
+				}
+				src.rows = append(src.rows, &execRow{
+					rule:    t.Field(1).AsStr(),
+					inID:    t.Field(2).AsID(),
+					outID:   t.Field(3).AsID(),
+					inT:     t.Field(4).AsFloat(),
+					outT:    t.Field(5).AsFloat(),
+					isEvent: t.Field(6).AsBool(),
+				})
+			})
+		}
+		if tb := en.Store.Get(TupleTable); tb != nil {
+			tb.Scan(en.Now, func(t tuple.Tuple) {
+				if t.Arity() < 5 {
+					return
+				}
+				hsrc := t.Field(2).AsStr()
+				if hsrc == "" || hsrc == en.Addr {
+					return // local tuple: no hop
+				}
+				src.hops = append(src.hops, exportHop{
+					id: t.Field(1).AsID(), src: hsrc, srcID: t.Field(3).AsID(),
+				})
+			})
+		}
+		srcs = append(srcs, src)
+	}
+	return renderChrome(w, srcs)
+}
 
+// ExportChromeStore renders the same Chrome trace from the durable
+// trace stores instead of the live tables: the forensic export that
+// still works after ruleExec rows aged out and nodes restarted. since
+// bounds the render window (0 = everything retained). With generous
+// trace bounds the two exports are byte-identical; with tight bounds
+// the store remembers strictly more. Exec records deduplicate on
+// (rule, inID, outID, isEvent) keeping the newest, and hops on the
+// local ID, mirroring the tables' replace-on-key semantics.
+func ExportChromeStore(w io.Writer, stores map[string]*tracestore.Store, since float64) (ChromeStats, error) {
+	v := tracestore.NewView(stores, since)
+	var srcs []exportSource
+	for _, addr := range v.Nodes() {
+		src := exportSource{addr: addr}
+		edges, err := v.Execs(tracestore.ExecFilter{Node: addr})
+		if err != nil {
+			return ChromeStats{}, err
+		}
+		type rowKey struct {
+			rule    string
+			in, out uint64
+			isEvent bool
+		}
+		last := make(map[rowKey]int)
+		for _, e := range edges {
+			r := &execRow{
+				rule: e.Rule, inID: e.InID, outID: e.OutID,
+				inT: e.InT, outT: e.OutT, isEvent: e.IsEvent,
+			}
+			k := rowKey{e.Rule, e.InID, e.OutID, e.IsEvent}
+			if i, ok := last[k]; ok {
+				src.rows[i] = r
+				continue
+			}
+			last[k] = len(src.rows)
+			src.rows = append(src.rows, r)
+		}
+		hops, err := v.Hops(addr)
+		if err != nil {
+			return ChromeStats{}, err
+		}
+		for _, h := range hops {
+			src.hops = append(src.hops, exportHop{id: h.ID, src: h.Src, srcID: h.SrcID})
+		}
+		srcs = append(srcs, src)
+	}
+	return renderChrome(w, srcs)
+}
+
+// renderChrome turns per-node rows and hops into the trace-event
+// document. Sources must already be sorted by address.
+func renderChrome(w io.Writer, srcs []exportSource) (ChromeStats, error) {
 	var events []chromeEvent
 	var stats ChromeStats
 
@@ -89,29 +194,13 @@ func ExportChrome(w io.Writer, nodes []ExportNode) (ChromeStats, error) {
 	outIndex := make(map[string]map[uint64]*execRow)
 	inIndex := make(map[string]map[uint64]*execRow)
 
-	for ni, en := range sorted {
+	for ni, src := range srcs {
 		pid := ni + 1
 		events = append(events, chromeEvent{
 			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
-			Args: map[string]any{"name": en.Addr},
+			Args: map[string]any{"name": src.addr},
 		})
-		var rows []*execRow
-		if tb := en.Store.Get(RuleExecTable); tb != nil {
-			tb.Scan(en.Now, func(t tuple.Tuple) {
-				if t.Arity() < 7 {
-					return
-				}
-				rows = append(rows, &execRow{
-					rule:    t.Field(1).AsStr(),
-					inID:    t.Field(2).AsID(),
-					outID:   t.Field(3).AsID(),
-					inT:     t.Field(4).AsFloat(),
-					outT:    t.Field(5).AsFloat(),
-					isEvent: t.Field(6).AsBool(),
-					pid:     pid,
-				})
-			})
-		}
+		rows := src.rows
 		sort.Slice(rows, func(i, j int) bool {
 			a, b := rows[i], rows[j]
 			if a.inT != b.inT {
@@ -147,6 +236,7 @@ func ExportChrome(w io.Writer, nodes []ExportNode) (ChromeStats, error) {
 			})
 		}
 		for _, r := range rows {
+			r.pid = pid
 			r.tid = ruleTid[r.rule]
 			if r.isEvent {
 				dur := (r.outT - r.inT) * 1e6
@@ -162,18 +252,18 @@ func ExportChrome(w io.Writer, nodes []ExportNode) (ChromeStats, error) {
 			}
 			// Index every row (event and precondition links alike): a
 			// tuple may be produced by one and consumed by another.
-			oi := outIndex[en.Addr]
+			oi := outIndex[src.addr]
 			if oi == nil {
 				oi = make(map[uint64]*execRow)
-				outIndex[en.Addr] = oi
+				outIndex[src.addr] = oi
 			}
 			if _, ok := oi[r.outID]; !ok {
 				oi[r.outID] = r
 			}
-			ii := inIndex[en.Addr]
+			ii := inIndex[src.addr]
 			if ii == nil {
 				ii = make(map[uint64]*execRow)
-				inIndex[en.Addr] = ii
+				inIndex[src.addr] = ii
 			}
 			if _, ok := ii[r.inID]; !ok {
 				ii[r.inID] = r // rows sorted by time: first consumer wins
@@ -181,36 +271,18 @@ func ExportChrome(w io.Writer, nodes []ExportNode) (ChromeStats, error) {
 		}
 	}
 
-	// Flow arrows: every tupleTable row whose provenance names another
-	// node links the producing activation there to the first consuming
-	// activation here.
+	// Flow arrows: every hop whose provenance names another node links
+	// the producing activation there to the first consuming activation
+	// here. Hops with either endpoint missing (aged out, or recorded
+	// without a traced consumer) are skipped.
 	flowID := 0
 	flowNodes := make(map[string]bool)
-	for _, en := range sorted {
-		tb := en.Store.Get(TupleTable)
-		if tb == nil {
-			continue
-		}
-		type hop struct {
-			id    uint64
-			src   string
-			srcID uint64
-		}
-		var hops []hop
-		tb.Scan(en.Now, func(t tuple.Tuple) {
-			if t.Arity() < 5 {
-				return
-			}
-			src := t.Field(2).AsStr()
-			if src == "" || src == en.Addr {
-				return // local tuple: no hop
-			}
-			hops = append(hops, hop{id: t.Field(1).AsID(), src: src, srcID: t.Field(3).AsID()})
-		})
+	for _, src := range srcs {
+		hops := append([]exportHop(nil), src.hops...)
 		sort.Slice(hops, func(i, j int) bool { return hops[i].id < hops[j].id })
 		for _, hp := range hops {
 			producer := outIndex[hp.src][hp.srcID]
-			consumer := inIndex[en.Addr][hp.id]
+			consumer := inIndex[src.addr][hp.id]
 			if producer == nil || consumer == nil {
 				continue // one end aged out of ruleExec
 			}
@@ -225,7 +297,7 @@ func ExportChrome(w io.Writer, nodes []ExportNode) (ChromeStats, error) {
 			})
 			stats.Flows++
 			flowNodes[hp.src] = true
-			flowNodes[en.Addr] = true
+			flowNodes[src.addr] = true
 		}
 	}
 	stats.FlowNodes = make([]string, 0, len(flowNodes))

@@ -15,6 +15,7 @@ import (
 
 	"p2go/internal/dataflow"
 	"p2go/internal/table"
+	"p2go/internal/tracestore"
 	"p2go/internal/tuple"
 )
 
@@ -67,6 +68,16 @@ type Tracer struct {
 	// tupleLog buffers arrival/insert/delete events (nil = disabled).
 	tupleLog *table.Table
 	seq      uint64
+
+	// pool recycles records across restarts (Reset returns them here).
+	pool []*record
+
+	// store, when attached, receives every trace record as a durable
+	// append — the forensic log that outlives the bounded soft-state
+	// tables above. onStore reports append/seal work for cost
+	// accounting.
+	store   *tracestore.Store
+	onStore func(appended, sealed int)
 }
 
 type prov struct {
@@ -156,11 +167,38 @@ func New(store *table.Store, localAddr string, cfg Config) (*Tracer, error) {
 	return tr, nil
 }
 
+// AttachStore directs the tracer to write every trace record through
+// the append-only store st as a durable side channel: exec edges, remote
+// arrivals, and system events survive there after the bounded reflection
+// tables above have flushed them. onStore, if non-nil, is invoked after
+// each append with the records appended and the sealed-record count the
+// append triggered (for cost accounting); it must not call back into
+// the tracer.
+func (tr *Tracer) AttachStore(st *tracestore.Store, onStore func(appended, sealed int)) {
+	tr.store = st
+	tr.onStore = onStore
+}
+
+// Store returns the attached trace store, or nil.
+func (tr *Tracer) Store() *tracestore.Store { return tr.store }
+
+func (tr *Tracer) noteStore(appended, sealed int) {
+	if tr.onStore != nil {
+		tr.onStore(appended, sealed)
+	}
+}
+
 // Register records the provenance of a tuple the node just assigned an ID
 // to: where it came from (src/srcID; the node itself for local tuples)
 // and where it lives or is headed (dst). Content is memoized only if a
-// ruleExec row ends up referencing the ID.
-func (tr *Tracer) Register(id uint64, content tuple.Tuple, src string, srcID uint64, dst string) {
+// ruleExec row ends up referencing the ID. Remote arrivals additionally
+// append a hop record to the attached store — the durable cross-node
+// provenance edge lineage queries follow.
+func (tr *Tracer) Register(id uint64, content tuple.Tuple, src string, srcID uint64, dst string, now float64) {
+	if tr.store != nil && src != "" && src != tr.local {
+		sealed := tr.store.AppendHop(tracestore.Hop{ID: id, Src: src, SrcID: srcID, Dst: dst, T: now})
+		tr.noteStore(1, sealed)
+	}
 	if _, ok := tr.memo[id]; ok {
 		return
 	}
@@ -200,7 +238,24 @@ func (tr *Tracer) freeRecord(s *dataflow.Strand) *record {
 		}
 	}
 	if len(recs) < tr.cfg.RecordsPerStrand {
-		r := &record{pre: make([]precond, s.Stages+1)}
+		var r *record
+		if n := len(tr.pool); n > 0 {
+			r = tr.pool[n-1]
+			tr.pool[n-1] = nil
+			tr.pool = tr.pool[:n-1]
+			pre := r.pre
+			if cap(pre) >= s.Stages+1 {
+				pre = pre[:s.Stages+1]
+				for i := range pre {
+					pre[i] = precond{}
+				}
+			} else {
+				pre = make([]precond, s.Stages+1)
+			}
+			*r = record{pre: pre}
+		} else {
+			r = &record{pre: make([]precond, s.Stages+1)}
+		}
 		tr.records[s] = append(recs, r)
 		return r
 	}
@@ -331,6 +386,12 @@ func (tr *Tracer) emitRuleExec(ruleID string, inID, outID uint64, inT, outT floa
 	if _, err := tr.ruleExec.Insert(row, outT); err != nil {
 		panic(fmt.Sprintf("trace: ruleExec insert: %v", err)) // impossible: name matches
 	}
+	if tr.store != nil {
+		sealed := tr.store.AppendExec(tracestore.Exec{
+			Rule: ruleID, InID: inID, OutID: outID, InT: inT, OutT: outT, IsEvent: isEvent,
+		})
+		tr.noteStore(1, sealed)
+	}
 }
 
 func (tr *Tracer) addRef(id uint64, now float64) {
@@ -379,17 +440,35 @@ func (tr *Tracer) Content(id uint64) (tuple.Tuple, bool) {
 	return tuple.Tuple{}, false
 }
 
-// Reset drops every piece of in-memory trace state: memoized
-// provenance, pending registrations, and strand records. The engine
-// calls it when a node restarts with soft-state loss — the trace tables
-// in the store are cleared alongside, so keeping memo references to
-// rows that no longer exist would leak entries forever. Configuration
-// and table handles survive; tracing resumes with the first post-restart
-// task.
-func (tr *Tracer) Reset() {
+// Reset drops every piece of in-memory trace state — memoized
+// provenance, pending registrations, strand records — AND purges the
+// trace reflection tables themselves. The engine calls it when a node
+// restarts with soft-state loss. Clearing the tables here (idempotent
+// if the caller already wiped the store) is load-bearing, not
+// cosmetic: a restarted node reuses tuple IDs from 1, so a stale
+// pre-crash ruleExec row that expired later would fire the release
+// subscription against a reused ID and evict a live post-restart memo
+// entry. Records return to the pool for reuse; the event-log sequence
+// restarts. The attached trace store is deliberately NOT cleared — it
+// is the forensic record that must survive the restart — but gets a
+// "restart" marker so investigations can see the discontinuity.
+func (tr *Tracer) Reset(now float64) {
+	tr.ruleExec.Clear()
+	tr.tuples.Clear()
+	if tr.tupleLog != nil {
+		tr.tupleLog.Clear()
+	}
 	tr.memo = make(map[uint64]*memoEntry)
 	tr.pending = make(map[uint64]prov)
+	for _, recs := range tr.records {
+		tr.pool = append(tr.pool, recs...)
+	}
 	tr.records = make(map[*dataflow.Strand][]*record)
+	tr.seq = 0
+	if tr.store != nil {
+		sealed := tr.store.AppendEvent(tracestore.Event{Op: "restart", Name: "", ID: 0, T: now})
+		tr.noteStore(1, sealed)
+	}
 }
 
 // ForgetStrand drops the per-strand record state of an uninstalled
@@ -420,9 +499,18 @@ func loggedName(name string) bool {
 
 // LogEvent buffers one system event in tupleLog: op is "arrive",
 // "insert", or "delete"; name and id identify the tuple (§2.1's event
-// logging). No-op when event logging is disabled.
+// logging). The attached store gets the event even when the in-table
+// buffer is disabled — durable event history does not depend on the
+// soft-state budget.
 func (tr *Tracer) LogEvent(op, name string, id uint64, now float64) {
-	if tr.tupleLog == nil || !loggedName(name) {
+	if !loggedName(name) {
+		return
+	}
+	if tr.store != nil {
+		sealed := tr.store.AppendEvent(tracestore.Event{Op: op, Name: name, ID: id, T: now})
+		tr.noteStore(1, sealed)
+	}
+	if tr.tupleLog == nil {
 		return
 	}
 	tr.seq++

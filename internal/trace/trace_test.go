@@ -27,7 +27,7 @@ func tup(name string, id uint64) tuple.Tuple {
 
 // register tells the tracer about a locally created tuple.
 func register(tr *Tracer, t tuple.Tuple) {
-	tr.Register(t.ID, t, "n1", t.ID, "n1")
+	tr.Register(t.ID, t, "n1", t.ID, "n1", 0)
 }
 
 func rows(t *testing.T, store *table.Store) []tuple.Tuple {
@@ -343,5 +343,94 @@ func TestLogEvent(t *testing.T) {
 	tr2.LogEvent("arrive", "lookup", 1, 1)
 	if store2.Get(TupleLogTable) != nil {
 		t.Error("disabled tupleLog must not exist")
+	}
+}
+
+// TestResetNoResurrection pins the restart-resurrection fix: a node
+// that restarts (soft-state loss) reuses tuple IDs from 1, so a stale
+// pre-crash ruleExec row left in the table would — when it later
+// expires — fire the release subscription against a reused ID and
+// evict a live post-restart memo entry. Reset must therefore purge the
+// trace tables itself, not just the in-memory maps.
+func TestResetNoResurrection(t *testing.T) {
+	tr, store, s := fixture(t, 0, DefaultConfig()) // TTL 120
+	// Pre-crash activity: IDs 1 and 2 referenced by a ruleExec row
+	// inserted at t=10.5 (expires at 130.5).
+	ev, out := tup("event", 1), tup("head", 2)
+	register(tr, ev)
+	register(tr, out)
+	tr.Input(s, ev, 10)
+	tr.Output(s, out, 10.5)
+	tr.StageDone(s, 0)
+	tr.TaskDone()
+	if tr.MemoSize() != 2 {
+		t.Fatalf("pre-crash memo = %d, want 2", tr.MemoSize())
+	}
+
+	// Crash + restart at t=50.
+	tr.Reset(50)
+	if tr.MemoSize() != 0 {
+		t.Fatalf("post-reset memo = %d, want 0", tr.MemoSize())
+	}
+	if got := store.Get(RuleExecTable).Count(); got != 0 {
+		t.Fatalf("Reset left %d stale ruleExec rows", got)
+	}
+	if got := store.Get(TupleTable).Count(); got != 0 {
+		t.Fatalf("Reset left %d stale tupleTable rows", got)
+	}
+
+	// The restarted process reuses IDs 1 and 2 at t=130.
+	ev2, out2 := tup("event", 1), tup("head", 2)
+	register(tr, ev2)
+	register(tr, out2)
+	tr.Input(s, ev2, 130)
+	tr.Output(s, out2, 130.5)
+	tr.StageDone(s, 0)
+	tr.TaskDone()
+
+	// t=135: past the PRE-crash row's expiry (130.5), well before the
+	// post-crash row's. With the stale row purged nothing expires; with
+	// the old bug this sweep released the reused IDs.
+	store.ExpireAll(135)
+	if tr.MemoSize() != 2 {
+		t.Fatalf("sweep after restart released reused IDs: memo = %d, want 2", tr.MemoSize())
+	}
+	if _, ok := tr.Content(1); !ok {
+		t.Fatal("restart resurrection: stale pre-crash refcount released live memo entry 1")
+	}
+	if got := store.Get(TupleTable).Count(); got != 2 {
+		t.Fatalf("tupleTable rows after sweep = %d, want 2", got)
+	}
+	if got := store.Get(RuleExecTable).Count(); got != 1 {
+		t.Fatalf("ruleExec rows after sweep = %d, want 1", got)
+	}
+}
+
+// TestResetPoolsRecords: strand records released by Reset are reused by
+// the next activation instead of reallocated.
+func TestResetPoolsRecords(t *testing.T) {
+	tr, _, s := fixture(t, 2, DefaultConfig())
+	ev := tup("event", 1)
+	register(tr, ev)
+	tr.Input(s, ev, 1)
+	old := tr.records[s][0]
+	tr.Reset(10)
+	if len(tr.pool) != 1 || tr.pool[0] != old {
+		t.Fatalf("pool after Reset = %v, want the released record", tr.pool)
+	}
+	ev2 := tup("event", 1)
+	register(tr, ev2)
+	tr.Input(s, ev2, 20)
+	if len(tr.pool) != 0 {
+		t.Fatal("new activation did not take the pooled record")
+	}
+	got := tr.records[s][0]
+	if got != old {
+		t.Fatal("new record was allocated instead of reusing the pool")
+	}
+	for i, p := range got.pre {
+		if p.filled || p.id != 0 || p.time != 0 {
+			t.Fatalf("pooled record pre[%d] = %+v, want zeroed", i, p)
+		}
 	}
 }

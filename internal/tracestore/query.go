@@ -1,0 +1,415 @@
+package tracestore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// View is a read-only investigation session over a set of node stores.
+// It lazily decodes each node's retained segments into transient
+// hash indexes (by producing ID, by consuming ID, by local tuple ID for
+// hops), so a multi-step lineage walk decodes each segment once — the
+// store itself stays compact, only the open View pays for random
+// access. A View is a snapshot: appends made after construction are not
+// guaranteed to be visible. Not safe for concurrent use.
+type View struct {
+	stores map[string]*Store
+	since  float64
+	nodes  map[string]*nodeIndex
+	// fwd is the global forward hop index: producer address → producer
+	// tuple ID → consumers. Built on demand (Descendants/FlowChain),
+	// since it requires decoding every node.
+	fwd map[string]map[uint64][]fwdHop
+}
+
+type fwdHop struct {
+	node string // consuming node
+	id   uint64 // tuple ID there
+	t    float64
+}
+
+type nodeIndex struct {
+	execs  []Exec
+	events []Event
+	byOut  map[uint64][]int
+	byIn   map[uint64][]int
+	hops   map[uint64]Hop
+}
+
+// NewView opens an investigation session over the given stores, keyed
+// by node address. Records before `since` are invisible — and whole
+// windows before it are never decoded, which is what bounds query cost
+// by the time horizon rather than by retention (pass 0 to see
+// everything retained).
+func NewView(stores map[string]*Store, since float64) *View {
+	return &View{stores: stores, since: since, nodes: make(map[string]*nodeIndex)}
+}
+
+// Nodes lists the addresses the view can answer for, sorted.
+func (v *View) Nodes() []string {
+	out := make([]string, 0, len(v.stores))
+	for a := range v.stores {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (v *View) node(addr string) (*nodeIndex, error) {
+	if ix, ok := v.nodes[addr]; ok {
+		return ix, nil
+	}
+	st := v.stores[addr]
+	if st == nil {
+		return nil, fmt.Errorf("tracestore: no store for node %q", addr)
+	}
+	segs, err := st.snapshot(v.since)
+	if err != nil {
+		return nil, err
+	}
+	ix := &nodeIndex{
+		byOut: make(map[uint64][]int),
+		byIn:  make(map[uint64][]int),
+		hops:  make(map[uint64]Hop),
+	}
+	for _, seg := range segs {
+		for _, e := range seg.execs {
+			if e.OutT < v.since {
+				continue
+			}
+			ix.byOut[e.OutID] = append(ix.byOut[e.OutID], len(ix.execs))
+			ix.byIn[e.InID] = append(ix.byIn[e.InID], len(ix.execs))
+			ix.execs = append(ix.execs, e)
+		}
+		for _, h := range seg.hops {
+			if h.T < v.since {
+				continue
+			}
+			ix.hops[h.ID] = h
+		}
+		for _, ev := range seg.events {
+			if ev.T < v.since {
+				continue
+			}
+			ix.events = append(ix.events, ev)
+		}
+	}
+	v.nodes[addr] = ix
+	return ix, nil
+}
+
+func (v *View) forward() (map[string]map[uint64][]fwdHop, error) {
+	if v.fwd != nil {
+		return v.fwd, nil
+	}
+	fwd := make(map[string]map[uint64][]fwdHop)
+	for addr := range v.stores {
+		ix, err := v.node(addr)
+		if err != nil {
+			return nil, err
+		}
+		for id, h := range ix.hops {
+			m := fwd[h.Src]
+			if m == nil {
+				m = make(map[uint64][]fwdHop)
+				fwd[h.Src] = m
+			}
+			m[h.SrcID] = append(m[h.SrcID], fwdHop{node: addr, id: id, t: h.T})
+		}
+	}
+	v.fwd = fwd
+	return fwd, nil
+}
+
+// Edge is one causal edge of a lineage answer: on Node, Rule consumed
+// InID and produced OutID. Depth is the BFS distance (in exec edges)
+// from the query's starting tuple; 0 for plain scans.
+type Edge struct {
+	Node      string
+	Rule      string
+	InID      uint64
+	OutID     uint64
+	InT, OutT float64
+	IsEvent   bool
+	Depth     int
+}
+
+// HopStep is one cross-node link of a lineage answer: the tuple known
+// as FromID on From arrived at To as ToID at time T.
+type HopStep struct {
+	From   string
+	FromID uint64
+	To     string
+	ToID   uint64
+	T      float64
+	Depth  int
+}
+
+// Lineage is the answer to an ancestors/descendants walk: the causal
+// exec edges plus the cross-node hops the walk crossed, both sorted
+// deterministically (by depth, then time, then content).
+type Lineage struct {
+	Edges []Edge
+	Hops  []HopStep
+}
+
+func (l *Lineage) sort() {
+	sort.Slice(l.Edges, func(i, j int) bool {
+		a, b := l.Edges[i], l.Edges[j]
+		if a.Depth != b.Depth {
+			return a.Depth < b.Depth
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.OutT != b.OutT {
+			return a.OutT < b.OutT
+		}
+		if a.InT != b.InT {
+			return a.InT < b.InT
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.InID != b.InID {
+			return a.InID < b.InID
+		}
+		return a.OutID < b.OutID
+	})
+	sort.Slice(l.Hops, func(i, j int) bool {
+		a, b := l.Hops[i], l.Hops[j]
+		if a.Depth != b.Depth {
+			return a.Depth < b.Depth
+		}
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.FromID < b.FromID
+	})
+}
+
+type walkItem struct {
+	node  string
+	id    uint64
+	depth int
+}
+
+// Ancestors walks the causal past of tuple id on node: every exec edge
+// that (transitively) produced it, following cross-node hops back to
+// the producing node. maxDepth bounds the walk in exec edges (0 =
+// unbounded). Unknown IDs return an empty lineage, not an error — the
+// past may simply have aged out of retention.
+func (v *View) Ancestors(node string, id uint64, maxDepth int) (*Lineage, error) {
+	return v.walk(node, id, maxDepth, false)
+}
+
+// Descendants walks the causal future of tuple id on node: everything
+// it (transitively) contributed to, following hops forward to consuming
+// nodes.
+func (v *View) Descendants(node string, id uint64, maxDepth int) (*Lineage, error) {
+	return v.walk(node, id, maxDepth, true)
+}
+
+func (v *View) walk(node string, id uint64, maxDepth int, forward bool) (*Lineage, error) {
+	var fwd map[string]map[uint64][]fwdHop
+	if forward {
+		var err error
+		if fwd, err = v.forward(); err != nil {
+			return nil, err
+		}
+	}
+	out := &Lineage{}
+	type key struct {
+		node string
+		id   uint64
+	}
+	seen := map[key]bool{{node, id}: true}
+	queue := []walkItem{{node: node, id: id}}
+	push := func(n string, id uint64, depth int) {
+		if !seen[key{n, id}] {
+			seen[key{n, id}] = true
+			queue = append(queue, walkItem{node: n, id: id, depth: depth})
+		}
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		ix, err := v.node(it.node)
+		if err != nil {
+			// A hop may name a node outside the view (no store); the
+			// walk reports what it can reach.
+			if v.stores[it.node] == nil {
+				continue
+			}
+			return nil, err
+		}
+		if !forward {
+			// The tuple may itself be a remote arrival: jump to its
+			// producer at the same depth (a hop is identity, not
+			// derivation).
+			if h, ok := ix.hops[it.id]; ok {
+				out.Hops = append(out.Hops, HopStep{
+					From: h.Src, FromID: h.SrcID, To: it.node, ToID: it.id,
+					T: h.T, Depth: it.depth,
+				})
+				push(h.Src, h.SrcID, it.depth)
+			}
+			if maxDepth > 0 && it.depth >= maxDepth {
+				continue
+			}
+			for _, i := range ix.byOut[it.id] {
+				e := ix.execs[i]
+				out.Edges = append(out.Edges, Edge{
+					Node: it.node, Rule: e.Rule, InID: e.InID, OutID: e.OutID,
+					InT: e.InT, OutT: e.OutT, IsEvent: e.IsEvent, Depth: it.depth + 1,
+				})
+				push(it.node, e.InID, it.depth+1)
+			}
+			continue
+		}
+		// Forward: hops this tuple took to other nodes, then local
+		// consumers.
+		for _, fh := range fwd[it.node][it.id] {
+			out.Hops = append(out.Hops, HopStep{
+				From: it.node, FromID: it.id, To: fh.node, ToID: fh.id,
+				T: fh.t, Depth: it.depth,
+			})
+			push(fh.node, fh.id, it.depth)
+		}
+		if maxDepth > 0 && it.depth >= maxDepth {
+			continue
+		}
+		for _, i := range ix.byIn[it.id] {
+			e := ix.execs[i]
+			out.Edges = append(out.Edges, Edge{
+				Node: it.node, Rule: e.Rule, InID: e.InID, OutID: e.OutID,
+				InT: e.InT, OutT: e.OutT, IsEvent: e.IsEvent, Depth: it.depth + 1,
+			})
+			push(it.node, e.OutID, it.depth+1)
+		}
+	}
+	out.sort()
+	return out, nil
+}
+
+// FlowChain reconstructs the inter-node path of a tuple: every hop in
+// its causal past and future, sorted by time — "how did this datum
+// travel through the network".
+func (v *View) FlowChain(node string, id uint64) ([]HopStep, error) {
+	anc, err := v.Ancestors(node, id, 0)
+	if err != nil {
+		return nil, err
+	}
+	desc, err := v.Descendants(node, id, 0)
+	if err != nil {
+		return nil, err
+	}
+	hops := append(append([]HopStep(nil), anc.Hops...), desc.Hops...)
+	sort.Slice(hops, func(i, j int) bool {
+		a, b := hops[i], hops[j]
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.FromID < b.FromID
+	})
+	return hops, nil
+}
+
+// Hops returns one node's remote-arrival hop records, deduplicated by
+// local tuple ID (the newest record wins, mirroring the tupleTable's
+// replace-on-key semantics) and sorted by local ID.
+func (v *View) Hops(node string) ([]Hop, error) {
+	ix, err := v.node(node)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Hop, 0, len(ix.hops))
+	for _, h := range ix.hops {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// ExecFilter selects exec records for Execs: Node is required; zero
+// values of the rest mean "any". Until 0 means +Inf.
+type ExecFilter struct {
+	Node         string
+	Rule         string
+	Since, Until float64
+	Limit        int
+}
+
+// Execs scans one node's exec records in append (time) order.
+func (v *View) Execs(f ExecFilter) ([]Edge, error) {
+	ix, err := v.node(f.Node)
+	if err != nil {
+		return nil, err
+	}
+	until := f.Until
+	if until == 0 {
+		until = math.Inf(1)
+	}
+	var out []Edge
+	for _, e := range ix.execs {
+		if e.OutT < f.Since || e.OutT > until {
+			continue
+		}
+		if f.Rule != "" && e.Rule != f.Rule {
+			continue
+		}
+		out = append(out, Edge{
+			Node: f.Node, Rule: e.Rule, InID: e.InID, OutID: e.OutID,
+			InT: e.InT, OutT: e.OutT, IsEvent: e.IsEvent,
+		})
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+// EventFilter selects event records for Events: Node is required; zero
+// values of the rest mean "any". Until 0 means +Inf.
+type EventFilter struct {
+	Node         string
+	Op, Name     string
+	Since, Until float64
+	Limit        int
+}
+
+// Events scans one node's system events in append (time) order.
+func (v *View) Events(f EventFilter) ([]Event, error) {
+	ix, err := v.node(f.Node)
+	if err != nil {
+		return nil, err
+	}
+	until := f.Until
+	if until == 0 {
+		until = math.Inf(1)
+	}
+	var out []Event
+	for _, ev := range ix.events {
+		if ev.T < f.Since || ev.T > until {
+			continue
+		}
+		if f.Op != "" && ev.Op != f.Op {
+			continue
+		}
+		if f.Name != "" && ev.Name != f.Name {
+			continue
+		}
+		out = append(out, ev)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out, nil
+}

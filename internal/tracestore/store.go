@@ -1,0 +1,238 @@
+package tracestore
+
+import "math"
+
+// Config tunes one node's trace store. The zero value is the kill
+// switch: a store is only created when Enabled is explicitly true, so
+// threading a Config through engine/simnet/chord configs is free until
+// someone opts in.
+type Config struct {
+	// Enabled turns the store on. Default off: the store is a strictly
+	// additive observer and ships dark.
+	Enabled bool
+	// WindowSeconds is the virtual-time width of one segment window
+	// (default 60). The active segment is sealed when an append's
+	// timestamp crosses into a later window.
+	WindowSeconds float64
+	// MaxSegments bounds how many sealed segments are retained
+	// (default 360 — six hours of one-minute windows). Oldest evicted
+	// first.
+	MaxSegments int
+	// MaxBytes bounds the total encoded bytes of sealed segments
+	// (default 8 MiB per node). Oldest evicted first.
+	MaxBytes int64
+}
+
+// DefaultConfig returns an enabled store with the default budget:
+// one-minute windows retained for six hours within 8 MiB.
+func DefaultConfig() Config {
+	return Config{Enabled: true, WindowSeconds: 60, MaxSegments: 360, MaxBytes: 8 << 20}
+}
+
+func (c Config) withDefaults() Config {
+	if c.WindowSeconds <= 0 {
+		c.WindowSeconds = 60
+	}
+	if c.MaxSegments <= 0 {
+		c.MaxSegments = 360
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 8 << 20
+	}
+	return c
+}
+
+// Stats counts a store's lifetime activity. Bytes/record ratios come
+// from TotalEncodedBytes / SealedRecords.
+type Stats struct {
+	// Execs/Hops/Events count records ever appended.
+	Execs, Hops, Events int64
+	// Sealed counts segments ever sealed; Evicted how many of those the
+	// retention budget has since dropped.
+	Sealed, Evicted int64
+	// SealedRecords counts records ever encoded into sealed segments.
+	SealedRecords int64
+	// EncodedBytes is the currently retained sealed payload;
+	// TotalEncodedBytes the lifetime total.
+	EncodedBytes, TotalEncodedBytes int64
+}
+
+// Appended returns the total records ever appended.
+func (s Stats) Appended() int64 { return s.Execs + s.Hops + s.Events }
+
+// BytesPerRecord is the lifetime encoded-size ratio, 0 before the
+// first seal.
+func (s Stats) BytesPerRecord() float64 {
+	if s.SealedRecords == 0 {
+		return 0
+	}
+	return float64(s.TotalEncodedBytes) / float64(s.SealedRecords)
+}
+
+// Sealed is one encoded, immutable segment.
+type Sealed struct {
+	// Window is the segment's window index: it covers virtual times
+	// [Window*W, (Window+1)*W) for window width W.
+	Window int64
+	// Execs/Hops/Events are the record counts inside.
+	Execs, Hops, Events int
+	data                []byte
+}
+
+// Bytes returns the encoded size.
+func (s *Sealed) Bytes() int { return len(s.data) }
+
+// SegmentInfo describes one segment for inspection (Segments).
+type SegmentInfo struct {
+	Window              int64
+	Execs, Hops, Events int
+	Bytes               int
+	SealedSeg           bool
+}
+
+// Store is one node's append-only trace log. Like the engine node that
+// owns it, it is single-threaded: the node's executor is the only
+// writer, and queries run while the node is quiescent (a View decodes
+// sealed segments without mutating the store).
+type Store struct {
+	local  string
+	cfg    Config
+	active *segment
+	sealed []*Sealed
+	stats  Stats
+}
+
+// New creates a store for a node. The config's zero bounds are
+// defaulted; Enabled is the caller's concern (an engine only calls New
+// when the kill switch is open).
+func New(local string, cfg Config) *Store {
+	return &Store{local: local, cfg: cfg.withDefaults()}
+}
+
+// Local returns the owning node's address.
+func (st *Store) Local() string { return st.local }
+
+// Stats returns a snapshot of the lifetime counters.
+func (st *Store) Stats() Stats { return st.stats }
+
+// WindowSeconds returns the configured window width.
+func (st *Store) WindowSeconds() float64 { return st.cfg.WindowSeconds }
+
+func (st *Store) windowOf(t float64) int64 {
+	return int64(math.Floor(t / st.cfg.WindowSeconds))
+}
+
+// rotate seals the active segment if t falls in a later window and
+// returns the number of records encoded by that seal (0 when no seal
+// happened) — the caller's hook for metering seal cost. A t before the
+// active window (the driver's clock never regresses, but the store does
+// not rely on it) lands in the active segment.
+func (st *Store) rotate(t float64) int {
+	w := st.windowOf(t)
+	if st.active == nil {
+		st.active = &segment{window: w}
+		return 0
+	}
+	if w <= st.active.window {
+		return 0
+	}
+	n := st.seal()
+	st.active = &segment{window: w}
+	return n
+}
+
+// seal encodes the active segment and applies the retention budget.
+// O(active segment): history is never touched beyond dropping whole
+// segments from the head of the sealed list.
+func (st *Store) seal() int {
+	seg := st.active
+	if seg == nil || seg.records() == 0 {
+		return 0
+	}
+	data := encodeSegment(seg)
+	st.sealed = append(st.sealed, &Sealed{
+		Window: seg.window,
+		Execs:  len(seg.execs), Hops: len(seg.hops), Events: len(seg.events),
+		data: data,
+	})
+	st.stats.Sealed++
+	st.stats.SealedRecords += int64(seg.records())
+	st.stats.EncodedBytes += int64(len(data))
+	st.stats.TotalEncodedBytes += int64(len(data))
+	for len(st.sealed) > 1 &&
+		(len(st.sealed) > st.cfg.MaxSegments || st.stats.EncodedBytes > st.cfg.MaxBytes) {
+		st.stats.EncodedBytes -= int64(len(st.sealed[0].data))
+		st.stats.Evicted++
+		st.sealed = st.sealed[1:]
+	}
+	return seg.records()
+}
+
+// AppendExec appends one rule-execution edge, keyed by its emission
+// time. Returns the records sealed by a window rotation this append
+// triggered (0 normally), so the caller can meter the amortized seal
+// cost.
+func (st *Store) AppendExec(e Exec) int {
+	st.stats.Execs++
+	n := st.rotate(e.OutT)
+	st.active.execs = append(st.active.execs, e)
+	return n
+}
+
+// AppendHop appends one cross-node provenance edge.
+func (st *Store) AppendHop(h Hop) int {
+	st.stats.Hops++
+	n := st.rotate(h.T)
+	st.active.hops = append(st.active.hops, h)
+	return n
+}
+
+// AppendEvent appends one system event.
+func (st *Store) AppendEvent(ev Event) int {
+	st.stats.Events++
+	n := st.rotate(ev.T)
+	st.active.events = append(st.active.events, ev)
+	return n
+}
+
+// Segments lists the retained segments oldest-first, the active
+// segment last. Inspection only — the bench and tests use it.
+func (st *Store) Segments() []SegmentInfo {
+	out := make([]SegmentInfo, 0, len(st.sealed)+1)
+	for _, s := range st.sealed {
+		out = append(out, SegmentInfo{
+			Window: s.Window, Execs: s.Execs, Hops: s.Hops, Events: s.Events,
+			Bytes: len(s.data), SealedSeg: true,
+		})
+	}
+	if st.active != nil && st.active.records() > 0 {
+		out = append(out, SegmentInfo{
+			Window: st.active.window,
+			Execs:  len(st.active.execs), Hops: len(st.active.hops), Events: len(st.active.events),
+		})
+	}
+	return out
+}
+
+// snapshot returns the segments a View reads: decoded sealed segments
+// plus a shallow copy of the active one. Sealed data is immutable;
+// the active copy pins the slice headers so later appends to the store
+// do not invalidate an open View.
+func (st *Store) snapshot(since float64) ([]*segment, error) {
+	var segs []*segment
+	for _, s := range st.sealed {
+		if float64(s.Window+1)*st.cfg.WindowSeconds <= since {
+			continue // window entirely before the horizon
+		}
+		seg, err := decodeSegment(s.data)
+		if err != nil {
+			return nil, err
+		}
+		segs = append(segs, seg)
+	}
+	if st.active != nil && st.active.records() > 0 {
+		cp := *st.active
+		segs = append(segs, &cp)
+	}
+	return segs, nil
+}

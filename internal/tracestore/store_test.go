@@ -1,0 +1,210 @@
+package tracestore
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func exec(rule string, in, out uint64, inT, outT float64, ev bool) Exec {
+	return Exec{Rule: rule, InID: in, OutID: out, InT: inT, OutT: outT, IsEvent: ev}
+}
+
+// TestRotationOnWindowBoundary pins the rotation contract: appends
+// strictly inside a window stay in the active segment; the first append
+// at or past the boundary seals it.
+func TestRotationOnWindowBoundary(t *testing.T) {
+	st := New("n1", Config{WindowSeconds: 60})
+	st.AppendExec(exec("r1", 1, 2, 0.5, 1.0, true))
+	if n := st.AppendExec(exec("r1", 2, 3, 59.0, 59.999999, true)); n != 0 {
+		t.Fatalf("append inside window sealed %d records, want 0", n)
+	}
+	if got := len(st.Segments()); got != 1 {
+		t.Fatalf("segments before boundary = %d, want 1 (active only)", got)
+	}
+	// Exactly on the boundary: window floor(60/60)=1, so the active
+	// window-0 segment seals.
+	if n := st.AppendExec(exec("r1", 3, 4, 59.5, 60.0, true)); n != 2 {
+		t.Fatalf("boundary append sealed %d records, want 2", n)
+	}
+	segs := st.Segments()
+	if len(segs) != 2 || !segs[0].SealedSeg || segs[0].Window != 0 || segs[1].SealedSeg || segs[1].Window != 1 {
+		t.Fatalf("segments after boundary = %+v", segs)
+	}
+	if st.Stats().Sealed != 1 || st.Stats().SealedRecords != 2 {
+		t.Fatalf("stats after seal = %+v", st.Stats())
+	}
+}
+
+// TestRotationSkipsEmptyWindows: a long quiet gap produces no empty
+// sealed segments.
+func TestRotationSkipsEmptyWindows(t *testing.T) {
+	st := New("n1", Config{WindowSeconds: 10})
+	st.AppendEvent(Event{Op: "arrive", Name: "a", ID: 1, T: 5})
+	st.AppendEvent(Event{Op: "arrive", Name: "b", ID: 2, T: 995}) // 98 windows later
+	segs := st.Segments()
+	if len(segs) != 2 {
+		t.Fatalf("segments = %+v, want sealed window 0 + active window 99", segs)
+	}
+	if segs[0].Window != 0 || segs[1].Window != 99 {
+		t.Fatalf("windows = %d, %d; want 0, 99", segs[0].Window, segs[1].Window)
+	}
+}
+
+// TestRetentionEvictionOrder: the budget drops whole segments oldest
+// first, and the stats ledger stays consistent.
+func TestRetentionEvictionOrder(t *testing.T) {
+	st := New("n1", Config{WindowSeconds: 10, MaxSegments: 2})
+	for w := 0; w < 5; w++ {
+		st.AppendExec(exec("r1", uint64(w), uint64(w+100), float64(w*10), float64(w*10)+1, true))
+	}
+	// Windows 0..3 sealed (4 seals), retention keeps the newest 2.
+	segs := st.Segments()
+	if len(segs) != 3 {
+		t.Fatalf("segments = %+v, want 2 sealed + active", segs)
+	}
+	if segs[0].Window != 2 || segs[1].Window != 3 || segs[2].Window != 4 {
+		t.Fatalf("retained windows = %d,%d,%d; want 2,3,4 (oldest evicted first)", segs[0].Window, segs[1].Window, segs[2].Window)
+	}
+	s := st.Stats()
+	if s.Sealed != 4 || s.Evicted != 2 {
+		t.Fatalf("stats = %+v, want 4 sealed, 2 evicted", s)
+	}
+	var retained int64
+	for _, seg := range st.sealed {
+		retained += int64(len(seg.data))
+	}
+	if s.EncodedBytes != retained {
+		t.Fatalf("EncodedBytes ledger %d != actual retained %d", s.EncodedBytes, retained)
+	}
+	if s.TotalEncodedBytes <= s.EncodedBytes {
+		t.Fatalf("TotalEncodedBytes %d should exceed retained %d after evictions", s.TotalEncodedBytes, s.EncodedBytes)
+	}
+}
+
+// TestRetentionByBytes: the byte budget evicts too, but never the
+// newest sealed segment (the store always retains at least one).
+func TestRetentionByBytes(t *testing.T) {
+	st := New("n1", Config{WindowSeconds: 1, MaxBytes: 1})
+	for w := 0; w < 4; w++ {
+		st.AppendExec(exec("rule-with-a-long-name", uint64(w), uint64(w+100), float64(w), float64(w)+0.5, true))
+	}
+	segs := st.Segments()
+	// Every seal exceeds 1 byte, so only the newest sealed segment and
+	// the active one survive.
+	if len(segs) != 2 || segs[0].Window != 2 || !segs[0].SealedSeg {
+		t.Fatalf("segments = %+v, want newest sealed (window 2) + active", segs)
+	}
+}
+
+// TestSealRoundTrip: what was appended is what a View reads back, in
+// order, across several sealed windows plus the active segment.
+func TestSealRoundTrip(t *testing.T) {
+	st := New("n1", Config{WindowSeconds: 10})
+	var want []Exec
+	for i := 0; i < 35; i++ {
+		e := exec("r1", uint64(i), uint64(i+1000), float64(i), float64(i)+0.25, i%2 == 0)
+		want = append(want, e)
+		st.AppendExec(e)
+	}
+	v := NewView(map[string]*Store{"n1": st}, 0)
+	got, err := v.Execs(ExecFilter{Node: "n1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("execs = %d, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		w := Edge{Node: "n1", Rule: want[i].Rule, InID: want[i].InID, OutID: want[i].OutID,
+			InT: want[i].InT, OutT: want[i].OutT, IsEvent: want[i].IsEvent}
+		if e != w {
+			t.Fatalf("exec[%d] = %+v, want %+v", i, e, w)
+		}
+	}
+}
+
+// TestViewHorizonSkipsOldWindows: a since-horizon view does not decode
+// windows that ended before the horizon.
+func TestViewHorizonSkipsOldWindows(t *testing.T) {
+	st := New("n1", Config{WindowSeconds: 10})
+	for i := 0; i < 50; i++ {
+		st.AppendEvent(Event{Op: "arrive", Name: "x", ID: uint64(i + 1), T: float64(i)})
+	}
+	v := NewView(map[string]*Store{"n1": st}, 35)
+	evs, err := v.Events(EventFilter{Node: "n1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		if ev.T < 35 {
+			t.Fatalf("event %+v leaked past the since=35 horizon", ev)
+		}
+	}
+	if len(evs) != 15 {
+		t.Fatalf("events past horizon = %d, want 15", len(evs))
+	}
+}
+
+// TestEncodedCompactness: the whole point of delta/columnar encoding —
+// a realistic segment (one rule name, clustered IDs and times) must
+// encode far below the naive 41+ bytes/record of the raw struct.
+func TestEncodedCompactness(t *testing.T) {
+	st := New("n1", Config{WindowSeconds: 100})
+	for i := 0; i < 1000; i++ {
+		tm := float64(i) * 0.05
+		st.AppendExec(exec("lookupRule", uint64(2*i+1), uint64(2*i+2), tm, tm+0.001, true))
+	}
+	st.AppendExec(exec("x", 9999, 10000, 200, 200.1, true)) // force seal
+	s := st.Stats()
+	if s.Sealed != 1 {
+		t.Fatalf("sealed = %d, want 1", s.Sealed)
+	}
+	bpr := s.BytesPerRecord()
+	if bpr <= 0 || bpr > 24 {
+		t.Fatalf("bytes/record = %.1f, want (0, 24]", bpr)
+	}
+}
+
+// TestDecodeRejectsCorruptInput: decode must fail cleanly, never
+// panic, on malformed bytes.
+func TestDecodeRejectsCorruptInput(t *testing.T) {
+	seg := &segment{window: 3,
+		execs:  []Exec{exec("r", 1, 2, 1, 2, true)},
+		hops:   []Hop{{ID: 2, Src: "n2", SrcID: 9, Dst: "n1", T: 1.5}},
+		events: []Event{{Op: "arrive", Name: "t", ID: 2, T: 1.5}},
+	}
+	good := encodeSegment(seg)
+	if _, err := decodeSegment(good); err != nil {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := decodeSegment(good[:cut]); err == nil {
+			// A truncation that still parses must at least not panic;
+			// most prefixes must error.
+			if cut < len(good)-1 {
+				t.Fatalf("truncation to %d bytes decoded without error", cut)
+			}
+		}
+	}
+	if _, err := decodeSegment([]byte{0x00, 0xff, 0xff, 0xff, 0xff, 0x7f}); err == nil {
+		t.Fatal("implausible dictionary count decoded without error")
+	}
+}
+
+// TestTimestampLossless: XOR-delta float encoding is bit-exact,
+// including awkward values.
+func TestTimestampLossless(t *testing.T) {
+	times := []float64{0, 1e-9, 123.456789, math.Pi * 1e6, 0.1 + 0.2}
+	seg := &segment{window: 0}
+	for i, tm := range times {
+		seg.events = append(seg.events, Event{Op: "arrive", Name: "x", ID: uint64(i + 1), T: tm})
+	}
+	dec, err := decodeSegment(encodeSegment(seg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seg.events, dec.events) {
+		t.Fatalf("events round trip:\n got %+v\nwant %+v", dec.events, seg.events)
+	}
+}

@@ -52,6 +52,7 @@ import (
 	"p2go/internal/overlog"
 	"p2go/internal/simnet"
 	"p2go/internal/trace"
+	"p2go/internal/tracestore"
 	"p2go/internal/tuple"
 )
 
@@ -98,6 +99,40 @@ type TraceConfig = trace.Config
 
 // DefaultTraceConfig returns the prototype's tracing bounds.
 func DefaultTraceConfig() TraceConfig { return trace.DefaultConfig() }
+
+// TraceStoreConfig tunes the durable trace store: the append-only,
+// window-partitioned log the tracer writes through, so causal lineage
+// survives table eviction and node restarts (set it on
+// NetworkConfig/ChordRingConfig; tracing must be enabled too). The
+// P2GO_DISABLE_TRACESTORE environment variable force-disables it.
+type TraceStoreConfig = tracestore.Config
+
+// DefaultTraceStoreConfig returns the store's default rotation and
+// retention budget.
+func DefaultTraceStoreConfig() TraceStoreConfig { return tracestore.DefaultConfig() }
+
+// TraceStore is one node's durable trace log (Node.TraceStore; nil when
+// not configured).
+type TraceStore = tracestore.Store
+
+// TraceView is a read-only investigation session over a set of node
+// stores: Ancestors, Descendants, FlowChain, Execs, Events.
+type TraceView = tracestore.View
+
+// NewTraceView opens an investigation over per-node stores; records
+// before since are invisible and older windows are never decoded.
+func NewTraceView(stores map[string]*TraceStore, since float64) *TraceView {
+	return tracestore.NewView(stores, since)
+}
+
+// Lineage is a causal walk's answer: exec edges plus cross-node hops.
+type Lineage = tracestore.Lineage
+
+// Investigate parses and runs one textual forensic query (e.g.
+// "ancestors of 41 at n3 depth 4") against a view.
+func Investigate(query string, v *TraceView) (*tracestore.Result, error) {
+	return tracestore.Investigate(query, v)
+}
 
 // Sim is the discrete-event scheduler.
 type Sim = simnet.Sim
