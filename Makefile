@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test check cover bench bench-smoke bench-churn bench-lifecycle bench-trace bench-profiler bench-agg bench-intranode bench-forensics fuzz examples tidy
+.PHONY: build test check cover bench bench-smoke bench-churn bench-lifecycle bench-trace bench-profiler bench-agg bench-intranode bench-forensics bench-scale fuzz examples tidy
 
 build:
 	go build ./...
@@ -71,6 +71,12 @@ bench-intranode:
 # matrix; writes BENCH_forensics.json.
 bench-forensics:
 	go run ./cmd/p2bench -exp forensics -json
+
+# The scale wall: 100/1k/10k-host Chord sweep with bytes-per-host and
+# events/sec curves, the shared-vs-private plan memory gate, and the
+# (shared|private)x(seq|par) fingerprint check; writes BENCH_scale.json.
+bench-scale:
+	go run ./cmd/p2bench -exp scale -json
 
 fuzz:
 	go test -run '^$$' -fuzz FuzzUnmarshal -fuzztime 30s ./internal/tuple/

@@ -18,6 +18,7 @@
 //	p2bench -exp profiler       # stats-publication overhead on the churn run
 //	p2bench -exp intranode      # intra-node strand scheduler speedup sweep
 //	p2bench -exp forensics      # durable trace store: overhead + lineage queries
+//	p2bench -exp scale          # 100/1k/10k-host sweep: bytes/host + events/sec
 //
 // -parallel runs every ring on simnet's conservative parallel driver
 // (same virtual-time results, different wall clock); -workers bounds its
@@ -41,13 +42,13 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: logging, fig4, fig5, fig6, fig7, smoke, ablation, churn, lifecycle, scenario, trace, profiler, intranode, forensics, all")
+		exp      = flag.String("exp", "all", "experiment: logging, fig4, fig5, fig6, fig7, smoke, ablation, churn, lifecycle, scenario, trace, profiler, intranode, forensics, scale, all")
 		seed     = flag.Int64("seed", 42, "random seed")
 		parallel = flag.Bool("parallel", false, "run rings on the conservative parallel simnet driver")
 		workers  = flag.Int("workers", 0, "parallel worker pool size (0 = GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "also write each experiment's result to BENCH_<exp>.json")
 		scenario = flag.String("scenario", "", "fault scenario file for -exp scenario (see internal/faults.Parse)")
-		quick    = flag.Bool("quick", false, "shrink -exp lifecycle/trace/intranode/forensics to a smoke-sized run (CI)")
+		quick    = flag.Bool("quick", false, "shrink -exp lifecycle/trace/intranode/forensics/scale to a smoke-sized run (CI)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -253,6 +254,27 @@ func main() {
 			}
 			if res.AccountingErr != "" {
 				log.Fatal("per-query accounting invariant violated")
+			}
+			payload = res
+		case "scale":
+			res, err := bench.Scale(*seed, *quick)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(bench.FormatScale(res))
+			if !res.FingerprintOK {
+				log.Fatal("determinism contract violated: (shared|private plans) x (seq|par driver) rings disagree")
+			}
+			if !res.ReductionOK {
+				log.Fatalf("scale contract violated: shared plans reduce install bytes/host only %.2fx, want >= %.0fx",
+					res.PlanReduction, bench.ScaleMinPlanReduction)
+			}
+			if !res.InstallBudgetOK {
+				log.Fatalf("scale contract violated: install bytes/host %d exceeds the %d-byte budget",
+					res.SharedInstallBytesPerHost, res.InstallBudgetBytes)
+			}
+			if !res.BudgetOK {
+				log.Fatalf("scale contract violated: steady-state bytes/host exceeds the %d-byte budget", res.BudgetBytes)
 			}
 			payload = res
 		case "scenario":

@@ -13,6 +13,7 @@ package chord
 
 import (
 	"fmt"
+	"sync"
 
 	"p2go/internal/engine"
 	"p2go/internal/overlog"
@@ -214,26 +215,67 @@ fb2 delete faultyNode@N(PAddr, T) :- faultyNode@N(PAddr, T).
 // package's oscillation detectors are demonstrated against it.
 func BuggyProgram() *overlog.Program { return overlog.MustParse(Rules + BuggyAmnesiaRules) }
 
+// The Chord programs are compile-time constants, so they are parsed and
+// planned exactly once per process and every ring node instantiates the
+// same immutable plans ("plan once, instantiate N times") — the memory
+// and install-time win that makes 1k-10k node rings viable. Nodes whose
+// environment differs from the compile-time reference (or runs with
+// shared plans disabled) transparently plan privately instead, with
+// bit-identical results.
+var (
+	compileOnce     sync.Once
+	compiledGood    *engine.CompiledQuery
+	compiledBuggy   *engine.CompiledQuery
+	compileGoodErr  error
+	compileBuggyErr error
+)
+
+func compilePrograms() {
+	compiledGood, compileGoodErr = engine.CompileQuery(Program())
+	compiledBuggy, compileBuggyErr = engine.CompileQuery(BuggyProgram())
+}
+
+// Compiled returns the process-wide shared compilation of the full
+// Chord program (Rules + DeadGuardRules).
+func Compiled() (*engine.CompiledQuery, error) {
+	compileOnce.Do(compilePrograms)
+	return compiledGood, compileGoodErr
+}
+
+// CompiledBuggy returns the shared compilation of the buggy variant.
+func CompiledBuggy() (*engine.CompiledQuery, error) {
+	compileOnce.Do(compilePrograms)
+	return compiledBuggy, compileBuggyErr
+}
+
 // Install loads the Chord program onto a node and seeds its base state:
 // its own identity, the landmark pointer, an empty predecessor, and the
 // finger-fix cursor. The node joins the ring autonomously once the driver
 // starts delivering timers.
 func Install(n *engine.Node, landmark string) error {
-	return installProgram(n, Program(), landmark)
+	cq, err := Compiled()
+	if err != nil {
+		return fmt.Errorf("chord: %w", err)
+	}
+	return installCompiled(n, cq, landmark)
 }
 
 // InstallBuggy loads the oscillation-prone Chord variant (see
 // BuggyProgram).
 func InstallBuggy(n *engine.Node, landmark string) error {
-	return installProgram(n, BuggyProgram(), landmark)
+	cq, err := CompiledBuggy()
+	if err != nil {
+		return fmt.Errorf("chord: %w", err)
+	}
+	return installCompiled(n, cq, landmark)
 }
 
 // QueryID is the query name the Chord overlay program is installed
 // under on every node (the substrate monitoring queries deploy against).
 const QueryID = "chord"
 
-func installProgram(n *engine.Node, prog *overlog.Program, landmark string) error {
-	if _, err := n.InstallQuery(QueryID, prog); err != nil {
+func installCompiled(n *engine.Node, cq *engine.CompiledQuery, landmark string) error {
+	if _, err := n.InstallCompiledQuery(QueryID, cq); err != nil {
 		return fmt.Errorf("chord: %w", err)
 	}
 	addr := n.Addr()

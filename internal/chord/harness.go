@@ -6,6 +6,7 @@ import (
 
 	"p2go/internal/engine"
 	"p2go/internal/overlog"
+	"p2go/internal/planner"
 	"p2go/internal/simnet"
 	"p2go/internal/trace"
 	"p2go/internal/tracestore"
@@ -61,6 +62,59 @@ type RingConfig struct {
 // (0-based) entry of RingConfig.ExtraPrograms under.
 func ExtraQueryID(i int) string { return fmt.Sprintf("extra%d", i+1) }
 
+// compileExtras compiles the extra programs once per ring so every node
+// instantiates shared plans instead of re-planning privately. Programs
+// install in slice order after Chord, so each compiles against the Chord
+// tables plus the declarations of the extras before it. A program that
+// fails to compile gets a nil entry and is installed privately per node,
+// which reports the original error (or succeeds, if the program depends
+// on node state the compile-time environment cannot see).
+func compileExtras(buggy bool, progs []*overlog.Program) []*engine.CompiledQuery {
+	if len(progs) == 0 {
+		return nil
+	}
+	baseNames := make(map[string]bool)
+	chordCq, err := Compiled()
+	if buggy {
+		chordCq, err = CompiledBuggy()
+	}
+	if err == nil {
+		for _, t := range chordCq.DeclaredTables() {
+			baseNames[t] = true
+		}
+	}
+	base := planner.EnvFunc(func(name string) bool { return baseNames[name] })
+	out := make([]*engine.CompiledQuery, len(progs))
+	for i, p := range progs {
+		c, err := engine.CompileQueryEnv(p, base)
+		if err != nil {
+			continue
+		}
+		out[i] = c
+		for _, t := range c.DeclaredTables() {
+			baseNames[t] = true
+		}
+	}
+	return out
+}
+
+// installExtras installs the extra programs on one node, using the
+// shared compilations where available.
+func installExtras(n *engine.Node, progs []*overlog.Program, compiled []*engine.CompiledQuery) error {
+	for i, p := range progs {
+		if c := compiled[i]; c != nil {
+			if _, err := n.InstallCompiledQuery(ExtraQueryID(i), c); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := n.InstallQuery(ExtraQueryID(i), p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Ring is a simulated Chord network: the harness tests, the monitoring
 // examples and the §4 benchmarks all run against it.
 type Ring struct {
@@ -114,6 +168,7 @@ func NewRing(cfg RingConfig) (*Ring, error) {
 		},
 	})
 	landmark := "n1"
+	extras := compileExtras(cfg.Buggy, cfg.ExtraPrograms)
 	for i := 1; i <= cfg.N; i++ {
 		addr := fmt.Sprintf("n%d", i)
 		r.Addrs = append(r.Addrs, addr)
@@ -128,10 +183,8 @@ func NewRing(cfg RingConfig) (*Ring, error) {
 		if err := install(n, landmark); err != nil {
 			return nil, err
 		}
-		for i, p := range cfg.ExtraPrograms {
-			if _, err := n.InstallQuery(ExtraQueryID(i), p); err != nil {
-				return nil, err
-			}
+		if err := installExtras(n, cfg.ExtraPrograms, extras); err != nil {
+			return nil, err
 		}
 		if cfg.StatsPeriod > 0 {
 			if err := n.EnableStatsPublication(cfg.StatsPeriod); err != nil {
@@ -157,10 +210,8 @@ func (r *Ring) AddLateNode(addr string, extra ...*overlog.Program) (*engine.Node
 	if err := Install(n, "n1"); err != nil {
 		return nil, err
 	}
-	for i, p := range extra {
-		if _, err := n.InstallQuery(ExtraQueryID(i), p); err != nil {
-			return nil, err
-		}
+	if err := installExtras(n, extra, compileExtras(false, extra)); err != nil {
+		return nil, err
 	}
 	r.Addrs = append(r.Addrs, addr)
 	return n, nil

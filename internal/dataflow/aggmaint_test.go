@@ -30,7 +30,7 @@ func (c *aggCtx) AggState(*Strand) *AggMaint {
 // as a delta strand: the trigger binds only the group var N; Ops[0] is
 // the rescan join of tab itself.
 func countStrand() *Strand {
-	s := &Strand{
+	s := &Strand{Plan: &Plan{
 		RuleID:  "agg1",
 		Trigger: Trigger{Kind: TriggerDelta, Name: "tab", FieldSlots: []int{0, -1, -1}, FieldConsts: make([]tuple.Value, 3)},
 		NumVars: 3, VarNames: []string{"N", "A", "B"},
@@ -42,7 +42,7 @@ func countStrand() *Strand {
 		Agg:      &AggSpec{Op: "count", Slot: -1, ArgIndex: 1, EmitZero: true},
 		AggPlan:  &AggPlan{Primary: "tab", Filter: []AggFilterPos{{GroupIdx: 0, Slot: 0}}},
 		Stages:   1,
-	}
+	}}
 	return s
 }
 

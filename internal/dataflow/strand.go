@@ -146,13 +146,14 @@ type AggSpec struct {
 	EmitZero bool
 }
 
-// Strand is one compiled rule strand.
-type Strand struct {
-	// QueryID names the installed query (program) this strand belongs
-	// to. Every resource a query creates — strands, timers, taps — is
-	// tagged with its QueryID so the engine can uninstall the query as a
-	// unit and attribute CPU per query.
-	QueryID string
+// Plan is the immutable, shareable compilation of one rule strand: the
+// element pipeline, trigger shape, head template, and static analyses.
+// A Plan carries no execution state, is never written after the planner
+// returns it, and may therefore be shared by every node running the same
+// program ("plan once, instantiate N times") — including nodes running
+// concurrently under the parallel drivers, since concurrent readers of
+// immutable data race with nobody.
+type Plan struct {
 	// RuleID is the rule label (possibly planner-generated).
 	RuleID string
 	// Source is the original rule text, exposed through the ruleTable
@@ -183,6 +184,28 @@ type Strand struct {
 	Footprint Footprint
 	// Stages is the number of stateful (join) stages.
 	Stages int
+}
+
+// Instantiate wraps the plan in a fresh per-node executable strand. The
+// strand starts with empty scratch state; every per-node structure (the
+// binding frame, probe/undo buffers, the cached lookup closure) is
+// allocated lazily on first activation.
+func (p *Plan) Instantiate(queryID string) *Strand {
+	return &Strand{Plan: p, QueryID: queryID}
+}
+
+// Strand is one node's executable instance of a compiled rule strand:
+// the shared immutable Plan plus the node-local mutable state (query
+// tag and activation scratch). The embedded plan keeps every read of a
+// compiled field (s.Ops, s.Trigger, …) on the strand itself.
+type Strand struct {
+	*Plan
+
+	// QueryID names the installed query (program) this strand belongs
+	// to. Every resource a query creates — strands, timers, taps — is
+	// tagged with its QueryID so the engine can uninstall the query as a
+	// unit and attribute CPU per query.
+	QueryID string
 
 	// Per-strand scratch buffers. Strands are node-local and each node
 	// is single-threaded, so a buffer can be reused across activations;

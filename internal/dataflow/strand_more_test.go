@@ -61,7 +61,7 @@ func TestIndexedJoinMatchesScanFallback(t *testing.T) {
 // TestMinMaxEmptyEmitsNothing: min/max over zero matches emit no head.
 func TestMinMaxEmptyEmitsNothing(t *testing.T) {
 	ctx := newFakeCtx(t)
-	s := &Strand{
+	s := &Strand{Plan: &Plan{
 		RuleID:  "m",
 		Trigger: Trigger{Kind: TriggerEvent, Name: "probe", FieldSlots: []int{0}, FieldConsts: make([]tuple.Value, 1)},
 		NumVars: 3, VarNames: []string{"N", "K", "V"},
@@ -72,7 +72,7 @@ func TestMinMaxEmptyEmitsNothing(t *testing.T) {
 		HeadArgs: []overlog.Expr{&overlog.Var{Name: "N"}, &overlog.Agg{Op: "min", Var: "V"}},
 		Agg:      &AggSpec{Op: "min", Slot: 2, ArgIndex: 1},
 		Stages:   1,
-	}
+	}}
 	s.Run(ctx, tuple.New("probe", tuple.Str("n1")))
 	if len(ctx.heads) != 0 {
 		t.Errorf("min over empty emitted %v", ctx.heads)
@@ -82,7 +82,7 @@ func TestMinMaxEmptyEmitsNothing(t *testing.T) {
 // TestCountZeroEmission at the dataflow level (EmitZero set).
 func TestCountZeroEmission(t *testing.T) {
 	ctx := newFakeCtx(t)
-	s := &Strand{
+	s := &Strand{Plan: &Plan{
 		RuleID:  "c",
 		Trigger: Trigger{Kind: TriggerEvent, Name: "probe", FieldSlots: []int{0, 1}, FieldConsts: make([]tuple.Value, 2)},
 		NumVars: 3, VarNames: []string{"N", "G", "V"},
@@ -93,7 +93,7 @@ func TestCountZeroEmission(t *testing.T) {
 		HeadArgs: []overlog.Expr{&overlog.Var{Name: "N"}, &overlog.Var{Name: "G"}, &overlog.Agg{Op: "count"}},
 		Agg:      &AggSpec{Op: "count", Slot: -1, ArgIndex: 2, EmitZero: true},
 		Stages:   1,
-	}
+	}}
 	s.Run(ctx, tuple.New("probe", tuple.Str("n1"), tuple.Int(42)))
 	if len(ctx.heads) != 1 {
 		t.Fatalf("heads = %v", ctx.heads)
@@ -137,7 +137,7 @@ func TestCondAndAssignErrorsReported(t *testing.T) {
 // rule error, not a panic.
 func TestHeadEvalErrorReported(t *testing.T) {
 	ctx := newFakeCtx(t)
-	s := &Strand{
+	s := &Strand{Plan: &Plan{
 		RuleID:   "h",
 		Trigger:  Trigger{Kind: TriggerEvent, Name: "ev", FieldSlots: []int{0}, FieldConsts: make([]tuple.Value, 1)},
 		NumVars:  1,
@@ -145,7 +145,7 @@ func TestHeadEvalErrorReported(t *testing.T) {
 		HeadName: "out",
 		HeadArgs: []overlog.Expr{&overlog.Var{Name: "N"},
 			&overlog.Binary{Op: "/", L: &overlog.Lit{Val: tuple.Int(1)}, R: &overlog.Lit{Val: tuple.Int(0)}}},
-	}
+	}}
 	s.Run(ctx, tuple.New("ev", tuple.Str("n1")))
 	if len(ctx.errs) != 1 || len(ctx.heads) != 0 {
 		t.Errorf("errs=%v heads=%v", ctx.errs, ctx.heads)

@@ -41,7 +41,7 @@ func (c *fakeCtx) RuleError(ruleID string, err error)               { c.errs = a
 // buildStrand compiles a single-strand rule with a hand-rolled pipeline.
 func joinStrand() *Strand {
 	// out@N(A, B) :- ev@N(A), tab@N(A, B), B != 0.
-	return &Strand{
+	return &Strand{Plan: &Plan{
 		RuleID:  "r1",
 		Trigger: Trigger{Kind: TriggerEvent, Name: "ev", FieldSlots: []int{0, 1}, FieldConsts: make([]tuple.Value, 2)},
 		NumVars: 3, VarNames: []string{"N", "A", "B"},
@@ -52,7 +52,7 @@ func joinStrand() *Strand {
 		HeadName: "out",
 		HeadArgs: []overlog.Expr{&overlog.Var{Name: "N"}, &overlog.Var{Name: "A"}, &overlog.Var{Name: "B"}},
 		Stages:   1,
-	}
+	}}
 }
 
 func newFakeCtx(t *testing.T) *fakeCtx {
@@ -111,7 +111,7 @@ func TestStrandSelfUnification(t *testing.T) {
 	tab := ctx.store.Get("tab")
 	tab.Insert(tuple.New("tab", tuple.Str("n1"), tuple.Int(5), tuple.Int(5)), 0) //nolint:errcheck
 	tab.Insert(tuple.New("tab", tuple.Str("n1"), tuple.Int(5), tuple.Int(6)), 0) //nolint:errcheck
-	s := &Strand{
+	s := &Strand{Plan: &Plan{
 		RuleID:  "r2",
 		Trigger: Trigger{Kind: TriggerEvent, Name: "ev", FieldSlots: []int{0}, FieldConsts: make([]tuple.Value, 1)},
 		NumVars: 2, VarNames: []string{"N", "A"},
@@ -122,7 +122,7 @@ func TestStrandSelfUnification(t *testing.T) {
 		HeadName: "out",
 		HeadArgs: []overlog.Expr{&overlog.Var{Name: "N"}, &overlog.Var{Name: "A"}},
 		Stages:   1,
-	}
+	}}
 	s.Run(ctx, tuple.New("ev", tuple.Str("n1")))
 	if len(ctx.heads) != 1 || !ctx.heads[0].Field(1).Equal(tuple.Int(5)) {
 		t.Errorf("heads = %v, want single (5) match", ctx.heads)
@@ -165,7 +165,7 @@ func TestStrandArityMismatchIgnored(t *testing.T) {
 
 func TestDeleteHeadWildcard(t *testing.T) {
 	ctx := newFakeCtx(t)
-	s := &Strand{
+	s := &Strand{Plan: &Plan{
 		RuleID:   "d1",
 		Trigger:  Trigger{Kind: TriggerEvent, Name: "drop", FieldSlots: []int{0, 1}, FieldConsts: make([]tuple.Value, 2)},
 		NumVars:  3,
@@ -173,7 +173,7 @@ func TestDeleteHeadWildcard(t *testing.T) {
 		HeadName: "tab",
 		HeadArgs: []overlog.Expr{&overlog.Var{Name: "N"}, &overlog.Var{Name: "K"}, &overlog.Var{Name: "V"}},
 		IsDelete: true,
-	}
+	}}
 	s.Run(ctx, tuple.New("drop", tuple.Str("n1"), tuple.Int(3)))
 	if len(ctx.dels) != 1 {
 		t.Fatalf("dels = %v", ctx.dels)
@@ -190,7 +190,7 @@ func TestAggregateGrouping(t *testing.T) {
 	for i, a := range []int64{1, 1, 2} {
 		tab.Insert(tuple.New("tab", tuple.Str("n1"), tuple.Int(a), tuple.Int(int64(i))), 0) //nolint:errcheck
 	}
-	s := &Strand{
+	s := &Strand{Plan: &Plan{
 		RuleID:  "a1",
 		Trigger: Trigger{Kind: TriggerEvent, Name: "probe", FieldSlots: []int{0}, FieldConsts: make([]tuple.Value, 1)},
 		NumVars: 3, VarNames: []string{"N", "A", "B"},
@@ -201,7 +201,7 @@ func TestAggregateGrouping(t *testing.T) {
 		HeadArgs: []overlog.Expr{&overlog.Var{Name: "N"}, &overlog.Var{Name: "A"}, &overlog.Agg{Op: "count"}},
 		Agg:      &AggSpec{Op: "count", Slot: -1, ArgIndex: 2},
 		Stages:   1,
-	}
+	}}
 	s.Run(ctx, tuple.New("probe", tuple.Str("n1")))
 	counts := map[int64]int64{}
 	for _, h := range ctx.heads {
@@ -219,7 +219,7 @@ func TestAggregateSumAvg(t *testing.T) {
 		tab.Insert(tuple.New("tab", tuple.Str("n1"), tuple.Int(int64(i)), tuple.Int(v)), 0) //nolint:errcheck
 	}
 	mk := func(op string) *Strand {
-		return &Strand{
+		return &Strand{Plan: &Plan{
 			RuleID:  op,
 			Trigger: Trigger{Kind: TriggerEvent, Name: "probe", FieldSlots: []int{0}, FieldConsts: make([]tuple.Value, 1)},
 			NumVars: 3, VarNames: []string{"N", "K", "V"},
@@ -230,7 +230,7 @@ func TestAggregateSumAvg(t *testing.T) {
 			HeadArgs: []overlog.Expr{&overlog.Var{Name: "N"}, &overlog.Agg{Op: op, Var: "V"}},
 			Agg:      &AggSpec{Op: op, Slot: 2, ArgIndex: 1},
 			Stages:   1,
-		}
+		}}
 	}
 	for op, want := range map[string]float64{"sum": 12, "avg": 4} {
 		ctx.heads = nil

@@ -571,6 +571,15 @@ func (n *Node) InstallProgram(prog *overlog.Program) error {
 // of existing and declared tables — and only then committed, so an
 // invalid program installs nothing: no strand, table, watch or timer.
 func (n *Node) InstallQuery(id string, prog *overlog.Program) (string, error) {
+	return n.installQuery(id, prog, nil)
+}
+
+// installQuery is the shared install path. With cq == nil every rule is
+// planned privately on this node; with a compiled query (whose
+// environment checks the caller has already verified via
+// planCompatible) the immutable shared plans are wrapped in per-node
+// strands instead — "plan once, instantiate N times".
+func (n *Node) installQuery(id string, prog *overlog.Program, cq *CompiledQuery) (string, error) {
 	// ---- Phase 1: validate; no node state is touched on any error. ----
 	if id == SystemQuery {
 		return "", fmt.Errorf("engine: query ID %q is reserved", SystemQuery)
@@ -606,20 +615,34 @@ func (n *Node) InstallQuery(id string, prog *overlog.Program) (string, error) {
 	})
 	var strands []*dataflow.Strand
 	var watches []string
-	for _, st := range prog.Statements {
-		switch s := st.(type) {
-		case *overlog.Watch:
-			watches = append(watches, s.Name)
-		case *overlog.Rule:
-			ss, err := planner.PlanRule(id, s, env, n.genLabel)
-			if err != nil {
-				return "", err
+	if cq != nil {
+		watches = cq.watches
+		strands = make([]*dataflow.Strand, len(cq.plans))
+		for i, p := range cq.plans {
+			strands[i] = p.Instantiate(id)
+		}
+	} else {
+		for _, st := range prog.Statements {
+			switch s := st.(type) {
+			case *overlog.Watch:
+				watches = append(watches, s.Name)
+			case *overlog.Rule:
+				ss, err := planner.PlanRule(id, s, env, n.genLabel)
+				if err != nil {
+					return "", err
+				}
+				strands = append(strands, ss...)
 			}
-			strands = append(strands, ss...)
 		}
 	}
 
 	// ---- Phase 2: commit; nothing below can fail. ----
+	if cq != nil {
+		// Account for the labels compilation generated so a later private
+		// install continues the sequence exactly where planning privately
+		// would have left it.
+		n.labelCounter += cq.labelsUsed
+	}
 	q := &query{
 		id:          id,
 		source:      prog.Source,

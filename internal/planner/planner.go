@@ -43,6 +43,24 @@ func (f EnvFunc) IsMaterialized(name string) bool { return f(name) }
 // installing query's ID (the engine's unit of uninstallation and cost
 // attribution). labelGen supplies labels for unlabeled rules.
 func PlanRule(queryID string, r *overlog.Rule, env Env, labelGen func() string) ([]*dataflow.Strand, error) {
+	plans, err := CompileRule(r, env, labelGen)
+	if err != nil {
+		return nil, err
+	}
+	strands := make([]*dataflow.Strand, len(plans))
+	for i, p := range plans {
+		strands[i] = p.Instantiate(queryID)
+	}
+	return strands, nil
+}
+
+// CompileRule compiles one rule into its immutable shared plans. Plans
+// carry no query tag or execution state; callers instantiate them per
+// node with Plan.Instantiate ("plan once, instantiate N times"). Given
+// the same rule, environment answers, and label sequence, compilation is
+// deterministic, so a shared plan and a per-node private plan are
+// structurally identical.
+func CompileRule(r *overlog.Rule, env Env, labelGen func() string) ([]*dataflow.Plan, error) {
 	label := r.Label
 	if label == "" {
 		label = labelGen()
@@ -68,20 +86,18 @@ func PlanRule(queryID string, r *overlog.Rule, env Env, labelGen func() string) 
 		if err != nil {
 			return nil, err
 		}
-		s.QueryID = queryID
-		return []*dataflow.Strand{s}, nil
+		return []*dataflow.Plan{s}, nil
 	}
 	// Delta rewrite: one strand per (distinct) body predicate position.
-	strands := make([]*dataflow.Strand, 0, len(preds))
+	plans := make([]*dataflow.Plan, 0, len(preds))
 	for i := range preds {
 		s, err := buildStrand(r, label, env, preds, i, true)
 		if err != nil {
 			return nil, err
 		}
-		s.QueryID = queryID
-		strands = append(strands, s)
+		plans = append(plans, s)
 	}
-	return strands, nil
+	return plans, nil
 }
 
 // vars assigns slots to variable names in first-appearance order.
@@ -134,8 +150,8 @@ func fieldPattern(args []overlog.Expr, vt *varTable, bindOnly map[string]bool) (
 	return slots, consts, nil
 }
 
-func buildStrand(r *overlog.Rule, label string, env Env, preds []*overlog.Functor, trigIdx int, delta bool) (*dataflow.Strand, error) {
-	s := &dataflow.Strand{
+func buildStrand(r *overlog.Rule, label string, env Env, preds []*overlog.Functor, trigIdx int, delta bool) (*dataflow.Plan, error) {
+	s := &dataflow.Plan{
 		RuleID:   label,
 		Source:   r.String(),
 		HeadName: r.Head.Name,
@@ -361,7 +377,7 @@ func buildStrand(r *overlog.Rule, label string, env Env, preds []*overlog.Functo
 // sequential execution, because f_now reads the micro-clock and
 // f_rand/f_randID advance the node's RNG cursor, both of which depend
 // on the exact sequential interleaving.
-func analyzeFootprint(s *dataflow.Strand) dataflow.Footprint {
+func analyzeFootprint(s *dataflow.Plan) dataflow.Footprint {
 	fp := dataflow.Footprint{Write: s.HeadName}
 	seen := map[string]bool{}
 	for _, op := range s.Ops {
@@ -410,7 +426,7 @@ func analyzeFootprint(s *dataflow.Strand) dataflow.Footprint {
 //
 // Ineligible strands keep the per-activation rescan; semantics are
 // identical either way.
-func analyzeAggMaint(s *dataflow.Strand, headAll []overlog.Expr, aggIdx int) *dataflow.AggPlan {
+func analyzeAggMaint(s *dataflow.Plan, headAll []overlog.Expr, aggIdx int) *dataflow.AggPlan {
 	if s.IsDelete || len(s.Ops) == 0 {
 		return nil
 	}

@@ -169,6 +169,10 @@ type Network struct {
 	defsBuf   []deferredEvent
 	recsBuf   []callbackRec
 	parStats  ParStats
+
+	// addrsCache holds the sorted address list; AddNode invalidates it,
+	// so Addrs is O(copy) instead of O(n log n) between topology changes.
+	addrsCache []string
 }
 
 // NewNetwork creates an empty network on sim.
@@ -275,6 +279,7 @@ func (n *Network) AddNode(addr string) (*engine.Node, error) {
 	}
 	n.hosts[addr] = h
 	n.byIdx = append(n.byIdx, h)
+	n.addrsCache = nil
 	// Periodic soft-state sweeps.
 	var sweep func(at float64)
 	sweep = func(at float64) {
@@ -297,13 +302,19 @@ func (n *Network) Node(addr string) *engine.Node {
 	return nil
 }
 
-// Addrs returns all node addresses, sorted.
+// Addrs returns all node addresses, sorted. The caller owns the
+// returned slice; the sorted order is cached between AddNode calls.
 func (n *Network) Addrs() []string {
-	out := make([]string, 0, len(n.hosts))
-	for a := range n.hosts {
-		out = append(out, a)
+	if n.addrsCache == nil {
+		cache := make([]string, 0, len(n.byIdx))
+		for _, h := range n.byIdx {
+			cache = append(cache, h.addr)
+		}
+		sort.Strings(cache)
+		n.addrsCache = cache
 	}
-	sort.Strings(out)
+	out := make([]string, len(n.addrsCache))
+	copy(out, n.addrsCache)
 	return out
 }
 

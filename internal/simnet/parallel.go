@@ -116,6 +116,7 @@ type hostExec struct {
 	watches  []watchRec
 	errors   []errRec
 	maxAt    float64 // latest event time executed in this window
+	execd    uint64  // events executed (mirrors the sequential Step count)
 }
 
 // schedule buffers a request issued by this host's window execution.
@@ -140,6 +141,7 @@ func (ex *hostExec) run() {
 		if it.at > ex.maxAt {
 			ex.maxAt = it.at
 		}
+		ex.execd++
 		it.fn()
 	}
 }
@@ -164,7 +166,7 @@ func (n *Network) getExec(h *host, until float64) *hostExec {
 func (n *Network) putExec(ex *hostExec) {
 	ex.h = nil
 	ex.cutoff, ex.until, ex.maxAt = 0, 0, 0
-	ex.nextOrd, ex.spawnOrd = 0, 0
+	ex.nextOrd, ex.spawnOrd, ex.execd = 0, 0, 0
 	ex.agenda = ex.agenda[:0]
 	ex.deferred = ex.deferred[:0]
 	for i := range ex.watches {
@@ -286,10 +288,12 @@ func (n *Network) mergeWindow(active []*host) {
 		}
 	}
 	// Merge scheduling requests, assigning tie-break seqs in the
-	// canonical (time, issuing host, issue order) sequence.
+	// canonical (time, issuing host, issue order) sequence; large
+	// windows load the heap in one bulk rebuild (see Sim.atBatch).
 	defs := n.defsBuf[:0]
 	for _, h := range active {
 		defs = append(defs, h.exec.deferred...)
+		s.executed += h.exec.execd
 	}
 	sort.Slice(defs, func(i, j int) bool {
 		if defs[i].at != defs[j].at {
@@ -300,9 +304,7 @@ func (n *Network) mergeWindow(active []*host) {
 		}
 		return defs[i].srcOrd < defs[j].srcOrd
 	})
-	for _, d := range defs {
-		s.at(d.at, d.host, d.fn)
-	}
+	s.atBatch(defs)
 	for i := range defs {
 		defs[i] = deferredEvent{}
 	}

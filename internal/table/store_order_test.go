@@ -1,0 +1,92 @@
+package table
+
+import (
+	"fmt"
+	"testing"
+
+	"p2go/internal/tuple"
+)
+
+// TestExpireAllDeterministicOrder locks the cross-table sweep order.
+// ExpireAll fires delete listeners, and listener side effects observable
+// outside the store (tracer event seqs, bounded-log evictions) depend on
+// the order tables are swept — so that order must be materialization
+// order, never Go's randomized map iteration. Twelve tables expiring in
+// the same sweep make a map-order traversal overwhelmingly likely to
+// betray itself within a few repetitions.
+func TestExpireAllDeterministicOrder(t *testing.T) {
+	// Deliberately not sorted by name: the contract is materialization
+	// order, not name order.
+	names := []string{"t07", "t03", "t11", "t00", "t09", "t05",
+		"t01", "t10", "t04", "t08", "t02", "t06"}
+	runOnce := func() []string {
+		s := NewStore()
+		var fired []string
+		for _, name := range names {
+			tb, err := s.Materialize(Spec{Name: name, Lifetime: 1, MaxSize: Infinity})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tb.Subscribe(func(op Op, tu tuple.Tuple) {
+				if op == OpDelete {
+					fired = append(fired, tu.Name)
+				}
+			})
+			if _, err := tb.Insert(tuple.New(name, tuple.Str("n1")), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.ExpireAll(5)
+		return fired
+	}
+	for rep := 0; rep < 20; rep++ {
+		fired := runOnce()
+		if len(fired) != len(names) {
+			t.Fatalf("rep %d: %d deletions fired, want %d", rep, len(fired), len(names))
+		}
+		for i, name := range names {
+			if fired[i] != name {
+				t.Fatalf("rep %d: sweep order %v, want materialization order %v", rep, fired, names)
+			}
+		}
+	}
+}
+
+// TestStoreDropKeepsSweepOrder checks Drop removes a table from the
+// sweep while preserving the relative order of the rest.
+func TestStoreDropKeepsSweepOrder(t *testing.T) {
+	s := NewStore()
+	var fired []string
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("d%d", i)
+		tb, err := s.Materialize(Spec{Name: name, Lifetime: 1, MaxSize: Infinity})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.Subscribe(func(op Op, tu tuple.Tuple) {
+			if op == OpDelete {
+				fired = append(fired, tu.Name)
+			}
+		})
+		if _, err := tb.Insert(tuple.New(name, tuple.Str("n1")), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Drop("d1")
+	if s.Get("d1") != nil {
+		t.Fatal("d1 still present after Drop")
+	}
+	s.ExpireAll(5)
+	want := []string{"d0", "d2", "d3"}
+	if len(fired) != len(want) {
+		t.Fatalf("sweep fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("sweep fired %v, want %v", fired, want)
+		}
+	}
+	if s.LiveTuples() != 0 {
+		t.Fatalf("LiveTuples=%d after full expiry", s.LiveTuples())
+	}
+}

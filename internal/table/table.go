@@ -503,6 +503,11 @@ func (tb *Table) SizeBytes() int {
 // Store is the per-node collection of tables.
 type Store struct {
 	tables map[string]*Table
+	// order lists tables in materialization order. Whole-store sweeps
+	// (ExpireAll) iterate it instead of the map: expiry fires delete
+	// listeners, whose cross-table firing order must not depend on Go's
+	// randomized map iteration or runs would not be reproducible.
+	order []*Table
 }
 
 // NewStore creates an empty store.
@@ -548,6 +553,7 @@ func (s *Store) Materialize(spec Spec) (*Table, error) {
 	}
 	tb := New(spec)
 	s.tables[spec.Name] = tb
+	s.order = append(s.order, tb)
 	return tb, nil
 }
 
@@ -556,7 +562,17 @@ func (s *Store) Materialize(spec Spec) (*Table, error) {
 // vanishes, like the soft state of a dead process. Dropping an unknown
 // name is a no-op.
 func (s *Store) Drop(name string) {
+	tb, ok := s.tables[name]
+	if !ok {
+		return
+	}
 	delete(s.tables, name)
+	for i, t := range s.order {
+		if t == tb {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
 }
 
 // Get returns the table for a predicate, or nil if the predicate is not
@@ -576,7 +592,7 @@ func (s *Store) Names() []string {
 // LiveTuples returns the total number of live rows across all tables.
 func (s *Store) LiveTuples() int {
 	n := 0
-	for _, tb := range s.tables {
+	for _, tb := range s.order {
 		n += tb.count
 	}
 	return n
@@ -585,15 +601,16 @@ func (s *Store) LiveTuples() int {
 // SizeBytes estimates total memory held by all tables.
 func (s *Store) SizeBytes() int {
 	n := 0
-	for _, tb := range s.tables {
+	for _, tb := range s.order {
 		n += tb.SizeBytes()
 	}
 	return n
 }
 
-// ExpireAll sweeps every table at time now.
+// ExpireAll sweeps every table at time now, in materialization order so
+// cross-table delete-listener firing is deterministic.
 func (s *Store) ExpireAll(now float64) {
-	for _, tb := range s.tables {
+	for _, tb := range s.order {
 		tb.Expire(now)
 	}
 }
@@ -601,7 +618,7 @@ func (s *Store) ExpireAll(now float64) {
 // NextExpiry returns the earliest expiry across all tables, or +Inf.
 func (s *Store) NextExpiry() float64 {
 	next := math.Inf(1)
-	for _, tb := range s.tables {
+	for _, tb := range s.order {
 		if e := tb.NextExpiry(); e < next {
 			next = e
 		}

@@ -20,7 +20,7 @@ func TestExportChromeFlows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sA := &dataflow.Strand{RuleID: "r1", Stages: 0}
+	sA := &dataflow.Strand{Plan: &dataflow.Plan{RuleID: "r1", Stages: 0}}
 	in := tuple.New("ev", tuple.Str("nA"), tuple.ID(1)).WithID(1)
 	out := tuple.New("msg", tuple.Str("nB"), tuple.ID(2)).WithID(2)
 	trA.Register(in.ID, in, "nA", 1, "nA", 10)
@@ -35,7 +35,7 @@ func TestExportChromeFlows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sB := &dataflow.Strand{RuleID: "r2", Stages: 0}
+	sB := &dataflow.Strand{Plan: &dataflow.Plan{RuleID: "r2", Stages: 0}}
 	// nB assigned local ID 7 to the tuple nA sent as its ID 2.
 	arrived := tuple.New("msg", tuple.Str("nB"), tuple.ID(2)).WithID(7)
 	outB := tuple.New("done", tuple.Str("nB"), tuple.ID(3)).WithID(8)

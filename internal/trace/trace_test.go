@@ -17,7 +17,7 @@ func fixture(t *testing.T, stages int, cfg Config) (*Tracer, *table.Store, *data
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := &dataflow.Strand{RuleID: "r1", Stages: stages}
+	s := &dataflow.Strand{Plan: &dataflow.Plan{RuleID: "r1", Stages: stages}}
 	return tr, store, s
 }
 

@@ -116,7 +116,7 @@ func Unmarshal(b []byte) (Tuple, int, error) {
 		return Tuple{}, 0, fmt.Errorf("tuple: short buffer decoding name")
 	}
 	pos += n
-	name := string(b[pos : pos+int(nameLen)])
+	name := internBytes(b[pos : pos+int(nameLen)])
 	pos += int(nameLen)
 	count, n := binary.Uvarint(b[pos:])
 	if n <= 0 {
@@ -168,7 +168,7 @@ func decodeValue(b []byte) (Value, int, error) {
 			return Nil, 0, fmt.Errorf("short buffer decoding str")
 		}
 		pos += n
-		return Str(string(b[pos : pos+int(l)])), pos + int(l), nil
+		return Str(internBytes(b[pos : pos+int(l)])), pos + int(l), nil
 	case KindBool:
 		if len(b) < pos+1 {
 			return Nil, 0, fmt.Errorf("short buffer decoding bool")

@@ -1,0 +1,78 @@
+package tuple
+
+import "sync"
+
+// String interning for the decode path. At simulation scale every node
+// holds the same handful of strings thousands of times over: predicate
+// names ("bestSucc", "finger") and node addresses ("n1".."n10000")
+// arrive in every message and are retained for as long as the decoded
+// tuple lives in a table. Canonicalizing them makes all copies share
+// one backing array, which is a large share of steady-state bytes per
+// host at 1k-10k nodes.
+//
+// The pool is process-wide and append-only. Interning is semantically
+// invisible — it returns an equal string — so it cannot affect
+// determinism; it only collapses duplicates. Reads vastly outnumber
+// writes after warmup, so a read-write mutex around a plain map keeps
+// the hot path to one allocation-free map probe (the compiler elides
+// the []byte→string conversion for built-in map lookups, which is why
+// this is not a sync.Map).
+
+const (
+	// maxInternLen bounds interned string length: long strings are
+	// payload (unlikely to repeat), short ones are vocabulary.
+	maxInternLen = 64
+	// maxInternEntries caps pool growth so adversarial or high-entropy
+	// workloads cannot leak memory through the pool; beyond the cap,
+	// lookups still hit but misses stop inserting.
+	maxInternEntries = 1 << 17
+)
+
+var (
+	internMu   sync.RWMutex
+	internPool = make(map[string]string)
+)
+
+// Intern returns a canonical copy of s: repeated calls with equal
+// contents return the same backing string. Strings too long (or pool
+// overflow) pass through unchanged.
+func Intern(s string) string {
+	if len(s) > maxInternLen {
+		return s
+	}
+	internMu.RLock()
+	v, ok := internPool[s]
+	internMu.RUnlock()
+	if ok {
+		return v
+	}
+	return internSlow(s)
+}
+
+// internBytes is Intern for a byte slice, allocating the string only on
+// a pool miss.
+func internBytes(b []byte) string {
+	if len(b) > maxInternLen {
+		return string(b)
+	}
+	internMu.RLock()
+	v, ok := internPool[string(b)] // no alloc: map-lookup conversion
+	internMu.RUnlock()
+	if ok {
+		return v
+	}
+	return internSlow(string(b))
+}
+
+func internSlow(s string) string {
+	internMu.Lock()
+	defer internMu.Unlock()
+	if v, ok := internPool[s]; ok {
+		return v
+	}
+	if len(internPool) >= maxInternEntries {
+		return s
+	}
+	internPool[s] = s
+	return s
+}
