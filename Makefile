@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test check cover bench bench-smoke bench-churn bench-lifecycle bench-trace bench-profiler bench-agg bench-intranode bench-forensics bench-scale fuzz examples tidy
+.PHONY: build test check cover bench bench-smoke bench-churn bench-lifecycle bench-trace bench-profiler bench-agg bench-intranode bench-forensics bench-scale bench-aggtree fuzz examples tidy
 
 build:
 	go build ./...
@@ -77,6 +77,12 @@ bench-forensics:
 # (shared|private)x(seq|par) fingerprint check; writes BENCH_scale.json.
 bench-scale:
 	go run ./cmd/p2bench -exp scale -json
+
+# Cluster queries over in-network aggregation trees: 1000-host tree vs
+# flat deployment with the exactness, fan-in (>=10x reduction), billing
+# and determinism gates; writes BENCH_aggtree.json.
+bench-aggtree:
+	go run ./cmd/p2bench -exp aggtree -json
 
 fuzz:
 	go test -run '^$$' -fuzz FuzzUnmarshal -fuzztime 30s ./internal/tuple/

@@ -19,6 +19,7 @@
 //	p2bench -exp intranode      # intra-node strand scheduler speedup sweep
 //	p2bench -exp forensics      # durable trace store: overhead + lineage queries
 //	p2bench -exp scale          # 100/1k/10k-host sweep: bytes/host + events/sec
+//	p2bench -exp aggtree        # in-network aggregation trees vs flat collection
 //
 // -parallel runs every ring on simnet's conservative parallel driver
 // (same virtual-time results, different wall clock); -workers bounds its
@@ -42,13 +43,13 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: logging, fig4, fig5, fig6, fig7, smoke, ablation, churn, lifecycle, scenario, trace, profiler, intranode, forensics, scale, all")
+		exp      = flag.String("exp", "all", "experiment: logging, fig4, fig5, fig6, fig7, smoke, ablation, churn, lifecycle, scenario, trace, profiler, intranode, forensics, scale, aggtree, all")
 		seed     = flag.Int64("seed", 42, "random seed")
 		parallel = flag.Bool("parallel", false, "run rings on the conservative parallel simnet driver")
 		workers  = flag.Int("workers", 0, "parallel worker pool size (0 = GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "also write each experiment's result to BENCH_<exp>.json")
 		scenario = flag.String("scenario", "", "fault scenario file for -exp scenario (see internal/faults.Parse)")
-		quick    = flag.Bool("quick", false, "shrink -exp lifecycle/trace/intranode/forensics/scale to a smoke-sized run (CI)")
+		quick    = flag.Bool("quick", false, "shrink -exp lifecycle/trace/intranode/forensics/scale/aggtree to a smoke-sized run (CI)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -275,6 +276,29 @@ func main() {
 			}
 			if !res.BudgetOK {
 				log.Fatalf("scale contract violated: steady-state bytes/host exceeds the %d-byte budget", res.BudgetBytes)
+			}
+			payload = res
+		case "aggtree":
+			res, err := bench.AggTree(*seed, *quick)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(bench.FormatAggTree(res))
+			if !res.ValuesOK {
+				log.Fatal("aggtree contract violated: tree/flat results do not match the oracle exactly")
+			}
+			if !res.FanInOK {
+				log.Fatalf("aggtree contract violated: tree fan-in %d (bound %d), reduction %.1fx (want >= %.0fx)",
+					res.Tree.MaxFanIn, res.FanInBound, res.FanInReduction, bench.AggTreeMinFanInReduction)
+			}
+			if !res.TreeFPIdentical || !res.FlatFPIdentical || !res.ResultFPEqual {
+				log.Fatal("determinism contract violated: (tree|flat) x (seq|par) cells disagree")
+			}
+			if res.Tree.BilledBusy <= 0 {
+				log.Fatal("aggtree contract violated: no busy-time billed to the monitoring query")
+			}
+			if res.AccountingErr != "" {
+				log.Fatal("per-query accounting invariant violated")
 			}
 			payload = res
 		case "scenario":

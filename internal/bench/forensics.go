@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"p2go/internal/chord"
+	"p2go/internal/engine"
 	"p2go/internal/trace"
 	"p2go/internal/tracestore"
 	"p2go/internal/tuple"
@@ -77,7 +78,11 @@ type ForensicsResult struct {
 // its tuple ID, the histograms, the watch stream, the error log — but
 // not the CPU metrics. Attaching a trace store bills real append CPU
 // (BusySeconds moves, by design), so the determinism contract for the
-// store is exactly "emissions identical, bill visible".
+// store is exactly "emissions identical, bill visible". The
+// nodeStats/queryStats publications are the same metrics reflected into
+// tables, so they are excluded for the same reason: instrumentation
+// features may legitimately move the bill without perturbing what the
+// rings computed.
 func emissionsFP(r *chord.Ring) string {
 	var b strings.Builder
 	now := r.Sim.Now()
@@ -88,6 +93,9 @@ func emissionsFP(r *chord.Ring) string {
 			h.HopLatency.Encode(), h.StrandCost.Encode(),
 			h.QueueWait.Encode(), h.QueueDepth.Encode())
 		for _, name := range n.Store().Names() {
+			if name == engine.NodeStatsTableName || name == engine.QueryStatsTableName {
+				continue
+			}
 			tb := n.Store().Get(name)
 			var rows []string
 			tb.Scan(now, func(t tuple.Tuple) {

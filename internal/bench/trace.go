@@ -109,7 +109,7 @@ func TraceExport(seed int64, quick bool, outDir string) (TraceResult, error) {
 	}
 	mn := r.Node(measured)
 	hists := mn.Hists()
-	err = metrics.WritePrometheus(pf, measured, mn.Metrics(), mn.QueryMetrics(), &hists)
+	err = metrics.WritePrometheus(pf, measured, mn.Metrics(), mn.QueryMetrics(), &hists, mn.ObsCounters()...)
 	if cerr := pf.Close(); err == nil {
 		err = cerr
 	}

@@ -56,6 +56,17 @@ type RingConfig struct {
 	// queryable through the nodeStats/queryStats tables, refreshed on
 	// this period.
 	StatsPeriod float64
+	// Tree, when set, installs the aggregation-tree overlay on every
+	// node (see tree.go); node i joins at rank i. It installs before
+	// ExtraPrograms, so extras may reference treeParent.
+	Tree *TreeConfig
+	// NoChord skips the Chord substrate: nodes get only the overlay,
+	// stats publication and the extra programs. Monitoring benchmarks
+	// use this to measure their own traffic on quiet hosts — large
+	// rings can drive Chord itself into the distressed regime (load-
+	// delayed pings read as failures), which starves everything queued
+	// behind the substrate's repair storm.
+	NoChord bool
 }
 
 // ExtraQueryID returns the query ID the harness installs the i-th
@@ -69,21 +80,32 @@ func ExtraQueryID(i int) string { return fmt.Sprintf("extra%d", i+1) }
 // fails to compile gets a nil entry and is installed privately per node,
 // which reports the original error (or succeeds, if the program depends
 // on node state the compile-time environment cannot see).
-func compileExtras(buggy bool, progs []*overlog.Program) []*engine.CompiledQuery {
+func compileExtras(cfg RingConfig, tree *engine.CompiledQuery, progs []*overlog.Program) []*engine.CompiledQuery {
 	if len(progs) == 0 {
 		return nil
 	}
 	baseNames := make(map[string]bool)
-	chordCq, err := Compiled()
-	if buggy {
-		chordCq, err = CompiledBuggy()
+	if !cfg.NoChord {
+		chordCq, err := Compiled()
+		if cfg.Buggy {
+			chordCq, err = CompiledBuggy()
+		}
+		if err == nil {
+			for _, t := range chordCq.DeclaredTables() {
+				baseNames[t] = true
+			}
+		}
 	}
-	if err == nil {
-		for _, t := range chordCq.DeclaredTables() {
+	if tree != nil {
+		for _, t := range tree.DeclaredTables() {
 			baseNames[t] = true
 		}
 	}
-	base := planner.EnvFunc(func(name string) bool { return baseNames[name] })
+	// The engine's system tables (nodeEpoch, nodeStats, queryStats, ...)
+	// exist on every node, so extras joining them still get shared plans.
+	base := planner.EnvFunc(func(name string) bool {
+		return baseNames[name] || engine.IsSystemTable(name)
+	})
 	out := make([]*engine.CompiledQuery, len(progs))
 	for i, p := range progs {
 		c, err := engine.CompileQueryEnv(p, base)
@@ -126,6 +148,10 @@ type Ring struct {
 	Watched []WatchedTuple
 	// Errors collects rule errors (should stay empty in healthy runs).
 	Errors []string
+	// treeCfg/treeCompiled carry the overlay setup to late joiners.
+	treeCfg      *TreeConfig
+	treeCompiled *engine.CompiledQuery
+	noChord      bool
 }
 
 // WatchedTuple is one watched-tuple observation.
@@ -145,7 +171,7 @@ func NewRing(cfg RingConfig) (*Ring, error) {
 	if cfg.Parallel {
 		mode = simnet.Parallel
 	}
-	r := &Ring{Sim: simnet.NewSim()}
+	r := &Ring{Sim: simnet.NewSim(), noChord: cfg.NoChord}
 	r.Net = simnet.NewNetwork(r.Sim, simnet.Config{
 		Seed:        cfg.Seed,
 		LossProb:    cfg.LossProb,
@@ -168,7 +194,15 @@ func NewRing(cfg RingConfig) (*Ring, error) {
 		},
 	})
 	landmark := "n1"
-	extras := compileExtras(cfg.Buggy, cfg.ExtraPrograms)
+	if cfg.Tree != nil {
+		tc := cfg.Tree.withDefaults()
+		r.treeCfg = &tc
+		var err error
+		if r.treeCompiled, err = CompiledTree(tc); err != nil {
+			return nil, err
+		}
+	}
+	extras := compileExtras(cfg, r.treeCompiled, cfg.ExtraPrograms)
 	for i := 1; i <= cfg.N; i++ {
 		addr := fmt.Sprintf("n%d", i)
 		r.Addrs = append(r.Addrs, addr)
@@ -176,12 +210,19 @@ func NewRing(cfg RingConfig) (*Ring, error) {
 		if err != nil {
 			return nil, err
 		}
-		install := Install
-		if cfg.Buggy {
-			install = InstallBuggy
+		if !cfg.NoChord {
+			install := Install
+			if cfg.Buggy {
+				install = InstallBuggy
+			}
+			if err := install(n, landmark); err != nil {
+				return nil, err
+			}
 		}
-		if err := install(n, landmark); err != nil {
-			return nil, err
+		if r.treeCfg != nil {
+			if err := InstallTree(n, *r.treeCfg, i, r.treeCompiled); err != nil {
+				return nil, err
+			}
 		}
 		if err := installExtras(n, cfg.ExtraPrograms, extras); err != nil {
 			return nil, err
@@ -202,15 +243,24 @@ func (r *Ring) Run(d float64) { r.Net.RunFor(d) }
 func (r *Ring) Node(addr string) *engine.Node { return r.Net.Node(addr) }
 
 // AddLateNode joins a new node to the running ring (churn injection).
+// With the tree overlay on, the newcomer takes the next rank, becoming
+// a leaf under the existing layout.
 func (r *Ring) AddLateNode(addr string, extra ...*overlog.Program) (*engine.Node, error) {
 	n, err := r.Net.AddNode(addr)
 	if err != nil {
 		return nil, err
 	}
-	if err := Install(n, "n1"); err != nil {
-		return nil, err
+	if !r.noChord {
+		if err := Install(n, "n1"); err != nil {
+			return nil, err
+		}
 	}
-	if err := installExtras(n, extra, compileExtras(false, extra)); err != nil {
+	if r.treeCfg != nil {
+		if err := InstallTree(n, *r.treeCfg, len(r.Addrs)+1, r.treeCompiled); err != nil {
+			return nil, err
+		}
+	}
+	if err := installExtras(n, extra, compileExtras(RingConfig{NoChord: r.noChord}, r.treeCompiled, extra)); err != nil {
 		return nil, err
 	}
 	r.Addrs = append(r.Addrs, addr)

@@ -1,0 +1,135 @@
+package chord
+
+import (
+	"testing"
+
+	"p2go/internal/tuple"
+)
+
+func TestTreeParentRank(t *testing.T) {
+	cases := []struct {
+		rank, fanout, parent, depth int
+	}{
+		{1, 4, 1, 0},
+		{2, 4, 1, 1},
+		{5, 4, 1, 1},
+		{6, 4, 2, 2},
+		{9, 4, 2, 2},
+		{10, 4, 3, 2},
+		{21, 4, 5, 2},
+		{22, 4, 6, 3},
+		{2, 1, 1, 1}, // fanout 1 degenerates to a chain
+		{4, 1, 3, 3},
+		{1000, 4, 250, 5},
+	}
+	for _, c := range cases {
+		if got := TreeParentRank(c.rank, c.fanout); got != c.parent {
+			t.Errorf("TreeParentRank(%d, %d) = %d, want %d", c.rank, c.fanout, got, c.parent)
+		}
+		if got := TreeDepth(c.rank, c.fanout); got != c.depth {
+			t.Errorf("TreeDepth(%d, %d) = %d, want %d", c.rank, c.fanout, got, c.depth)
+		}
+	}
+	// Fan-in bound by construction: no rank in 1..N has more than K
+	// children (plus the root's self-loop, which is not a message).
+	const n, k = 1000, 4
+	children := map[int]int{}
+	for rank := 2; rank <= n; rank++ {
+		children[TreeParentRank(rank, k)]++
+	}
+	for p, c := range children {
+		if c > k {
+			t.Fatalf("rank %d has %d children, fanout %d", p, c, k)
+		}
+	}
+}
+
+func treeRing(t *testing.T, n int, cfg TreeConfig) *Ring {
+	t.Helper()
+	r, err := NewRing(RingConfig{N: n, Seed: 7, Tree: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestTreeOverlayConverges(t *testing.T) {
+	const n, k = 10, 3
+	r := treeRing(t, n, TreeConfig{Fanout: k, Heartbeat: 2})
+	r.Run(30)
+	for i := 1; i <= n; i++ {
+		addr := TreeAddr(i)
+		want := TreeAddr(TreeParentRank(i, k))
+		if got := r.TreeParentOf(addr); got != want {
+			t.Errorf("%s: treeParent = %q, want canonical %q", addr, got, want)
+		}
+	}
+	if len(r.Errors) > 0 {
+		t.Fatalf("rule errors: %v", r.Errors[0])
+	}
+}
+
+// treeHeardRow returns (parent, epoch) from a node's treeHeard table.
+func treeHeardRow(r *Ring, addr string) (string, int64) {
+	tb := r.Node(addr).Store().Get("treeHeard")
+	if tb == nil {
+		return "", -1
+	}
+	parent, ep := "", int64(-1)
+	tb.Scan(r.Sim.Now(), func(t tuple.Tuple) {
+		parent, ep = t.Field(1).AsStr(), t.Field(2).AsInt()
+	})
+	return parent, ep
+}
+
+func TestTreeRepairUnderChurn(t *testing.T) {
+	// Ranks at fanout 3: n2..n4 under n1; n5..n7 under n2; n8..n10
+	// under n3. Crashing n2 must reroute n5..n7 to their grandparent n1
+	// within the silence window, and rejoin must win them back.
+	const n, k, hb = 10, 3, 2.0
+	r := treeRing(t, n, TreeConfig{Fanout: k, Heartbeat: hb})
+	r.Run(20)
+	r.Net.Crash("n2")
+	r.Run(TreeDeadFactor*hb + 3*hb)
+	for _, orphan := range []string{"n5", "n6", "n7"} {
+		if got := r.TreeParentOf(orphan); got != "n1" {
+			t.Errorf("after crash, %s parent = %q, want fallback n1", orphan, got)
+		}
+	}
+	// Unrelated subtrees keep their canonical parents.
+	if got := r.TreeParentOf("n8"); got != "n3" {
+		t.Errorf("n8 parent = %q, want n3", got)
+	}
+	r.Net.Rejoin("n2")
+	r.Run(6 * hb)
+	for _, orphan := range []string{"n5", "n6", "n7"} {
+		if got := r.TreeParentOf(orphan); got != "n2" {
+			t.Errorf("after rejoin, %s parent = %q, want canonical n2", orphan, got)
+		}
+	}
+	// The readopted parent's acks carry its bumped incarnation, so the
+	// children's heard rows record the post-crash epoch.
+	if parent, ep := treeHeardRow(r, "n5"); parent != "n2" || ep != 1 {
+		t.Errorf("n5 treeHeard = (%q, epoch %d), want (n2, 1)", parent, ep)
+	}
+	if _, ep := treeHeardRow(r, "n8"); ep != 0 {
+		t.Errorf("n8 heard epoch = %d, want 0 (parent never crashed)", ep)
+	}
+	if len(r.Errors) > 0 {
+		t.Fatalf("rule errors: %v", r.Errors[0])
+	}
+}
+
+func TestTreeLateJoinerBecomesLeaf(t *testing.T) {
+	const n, k = 7, 3
+	r := treeRing(t, n, TreeConfig{Fanout: k, Heartbeat: 2})
+	r.Run(10)
+	if _, err := r.AddLateNode("n8"); err != nil {
+		t.Fatal(err)
+	}
+	r.Run(10)
+	want := TreeAddr(TreeParentRank(8, k))
+	if got := r.TreeParentOf("n8"); got != want {
+		t.Errorf("late joiner parent = %q, want %q", got, want)
+	}
+}

@@ -49,15 +49,26 @@ const (
 // can query live engine performance — the §3.2 profiler as a pure
 // query. Row layouts:
 //
-//	nodeStats(NAddr, Counter, Value)
-//	queryStats(NAddr, QueryID, Counter, Value)
+//	nodeStats(NAddr, Epoch, Counter, Value)
+//	queryStats(NAddr, Epoch, QueryID, Counter, Value)
 //
-// Counter names follow metrics.Node.Counters / metrics.Query.Counters;
-// Value is a float for BusySeconds and an int for everything else.
+// Epoch is the node's process incarnation (0 from birth, +1 per
+// Rejoin), so collectors aggregating stats from remote nodes can tell a
+// rejoined node's fresh rows from stale pre-crash ones. Counter names
+// follow metrics.Node.Counters / metrics.Query.Counters plus the
+// observability extras in Node.ObsCounters; Value is a float for
+// *Seconds counters and an int for everything else.
 const (
 	NodeStatsTableName  = "nodeStats"
 	QueryStatsTableName = "queryStats"
 )
+
+// NodeEpochTableName is the engine-owned single-row table
+// nodeEpoch(NAddr, Epoch) holding the node's process incarnation.
+// It exists from birth like the stats tables, so any OverLog program
+// can join it without declaring it — the aggregation-tree protocol
+// stamps its heartbeats and partial aggregates with it.
+const NodeEpochTableName = "nodeEpoch"
 
 // StatsPublishEventName is the internal event that triggers one stats
 // publication. EnableStatsPublication installs a periodic rule emitting
@@ -229,6 +240,10 @@ type Node struct {
 	curStats *metrics.Query
 	sysStats *metrics.Query
 
+	// epoch counts process incarnations: 0 from birth, incremented by
+	// Rejoin. Published in every stats row and queryable via nodeEpoch.
+	epoch int64
+
 	nextTupleID  uint64
 	labelCounter int
 	queryCounter int
@@ -254,6 +269,7 @@ type Node struct {
 	queryTable    *table.Table
 	nodeStatsTbl  *table.Table
 	queryStatsTbl *table.Table
+	epochTbl      *table.Table
 }
 
 // NewNode creates a node.
@@ -299,14 +315,32 @@ func NewNode(cfg Config) *Node {
 	// program can join them without declaring them.
 	n.nodeStatsTbl, _ = n.store.Materialize(table.Spec{
 		Name: NodeStatsTableName, Lifetime: table.Infinity, MaxSize: table.Infinity,
-		Keys: []int{2},
+		Keys: []int{3},
 	})
 	n.queryStatsTbl, _ = n.store.Materialize(table.Spec{
 		Name: QueryStatsTableName, Lifetime: table.Infinity, MaxSize: table.Infinity,
-		Keys: []int{2, 3},
+		Keys: []int{3, 4},
 	})
+	// The epoch row is inserted directly (no task is running at birth;
+	// there are no strands to fire yet either).
+	n.epochTbl, _ = n.store.Materialize(table.Spec{
+		Name: NodeEpochTableName, Lifetime: table.Infinity, MaxSize: table.Infinity,
+		Keys: []int{1},
+	})
+	if _, err := n.epochTbl.Insert(n.epochRow(), cfg.Clock()); err != nil {
+		panic(fmt.Sprintf("engine: seeding %s: %v", NodeEpochTableName, err))
+	}
 	return n
 }
+
+// epochRow builds the current nodeEpoch(NAddr, Epoch) row.
+func (n *Node) epochRow() tuple.Tuple {
+	return tuple.New(NodeEpochTableName, tuple.Str(n.cfg.Addr), tuple.Int(n.epoch))
+}
+
+// Epoch returns the node's process incarnation: 0 from birth,
+// incremented on every Rejoin.
+func (n *Node) Epoch() int64 { return n.epoch }
 
 // isSystemTable reports whether name is one of the engine- or
 // tracer-owned reflection tables, which queries may re-declare but never
@@ -314,12 +348,18 @@ func NewNode(cfg Config) *Node {
 func isSystemTable(name string) bool {
 	switch name {
 	case RuleTableName, TableTableName, QueryTableName,
-		NodeStatsTableName, QueryStatsTableName,
+		NodeStatsTableName, QueryStatsTableName, NodeEpochTableName,
 		trace.RuleExecTable, trace.TupleTable, trace.TupleLogTable:
 		return true
 	}
 	return false
 }
+
+// IsSystemTable reports whether name is an engine- or tracer-owned
+// reflection table, present on every node without a declaration.
+// Shared compilation environments (chord harness, bench fleets) admit
+// these names when planning programs away from any concrete node.
+func IsSystemTable(name string) bool { return isSystemTable(name) }
 
 // Addr returns the node's address.
 func (n *Node) Addr() string { return n.cfg.Addr }
@@ -492,9 +532,14 @@ func (n *Node) StatsPeriod() float64 { return n.statsPeriod }
 func (n *Node) publishStats() {
 	n.billSystem(dataflow.CostStatsPublish)
 	addr := tuple.Str(n.cfg.Addr)
+	epoch := tuple.Int(n.epoch)
 	for _, c := range n.met.Snapshot().Counters() {
 		n.reflect(tuple.New(NodeStatsTableName,
-			addr, tuple.Str(c.Name), counterValue(c)), false)
+			addr, epoch, tuple.Str(c.Name), counterValue(c)), false)
+	}
+	for _, c := range n.ObsCounters() {
+		n.reflect(tuple.New(NodeStatsTableName,
+			addr, epoch, tuple.Str(c.Name), counterValue(c)), false)
 	}
 	ids := make([]string, 0, len(n.perQuery))
 	for id := range n.perQuery {
@@ -504,8 +549,36 @@ func (n *Node) publishStats() {
 	for _, id := range ids {
 		for _, c := range n.perQuery[id].Snapshot().Counters() {
 			n.reflect(tuple.New(QueryStatsTableName,
-				addr, tuple.Str(id), tuple.Str(c.Name), counterValue(c)), false)
+				addr, epoch, tuple.Str(id), tuple.Str(c.Name), counterValue(c)), false)
 		}
+	}
+}
+
+// ObsCounters returns the observability extras published alongside the
+// metrics.Node counters: the intra-node scheduler's speculation
+// outcomes (FanoutStats) and the trace store's append/seal totals.
+// They deliberately live outside metrics.Node — FanoutStats differ
+// between ExecSingle and ExecMulti and the store counters between
+// store-on and store-off runs, so keeping them out of the node counters
+// (and the stats tables out of emissions fingerprints) preserves the
+// bit-identical determinism contract across those modes. The row set is
+// fixed regardless of configuration (zeros when a feature is off), so
+// publication itself is mode-invariant. All values are monotone.
+func (n *Node) ObsCounters() []metrics.Counter {
+	fs := n.fanoutStats
+	var ss tracestore.Stats
+	if st := n.TraceStore(); st != nil {
+		ss = st.Stats()
+	}
+	return []metrics.Counter{
+		{Name: "FanoutCommitted", Prom: "fanout_committed", I: fs.Committed},
+		{Name: "FanoutAborted", Prom: "fanout_aborted", I: fs.Aborted},
+		{Name: "FanoutSeqSeconds", Prom: "fanout_seq_seconds", IsFloat: true, F: fs.SeqSeconds},
+		{Name: "FanoutParSeconds", Prom: "fanout_par_seconds", IsFloat: true, F: fs.ParSeconds},
+		{Name: "StoreAppends", Prom: "store_appends", I: ss.Appended()},
+		{Name: "StoreSealedSegments", Prom: "store_sealed_segments", I: ss.Sealed},
+		{Name: "StoreSealedRecords", Prom: "store_sealed_records", I: ss.SealedRecords},
+		{Name: "StoreEncodedBytes", Prom: "store_encoded_bytes", I: ss.TotalEncodedBytes},
 	}
 }
 
@@ -931,6 +1004,10 @@ func (n *Node) Rejoin() float64 {
 		// and records the restart marker.
 		n.tracer.Reset(n.Now())
 	}
+	// New incarnation: the epoch row is queued before the preamble so
+	// every bootstrap rule already sees the post-restart epoch.
+	n.epoch++
+	n.reflect(n.epochRow(), false)
 	for _, t := range n.preamble {
 		n.queue = append(n.queue, queued{t: t.WithID(0), src: n.cfg.Addr})
 	}
@@ -1339,8 +1416,13 @@ func (n *Node) EmitHead(s *dataflow.Strand, t tuple.Tuple, isDelete bool) {
 	// from the exact encoded size, so it never grows mid-append after
 	// warmup), then hand the envelope its own exact-size copy — the
 	// transport holds Raw beyond this task, so it cannot alias scratch.
-	// The postamble is system overhead, not query work.
-	n.billSystem(dataflow.CostMarshal)
+	// The marshal bills to the current bucket: during a strand run that
+	// is the emitting query, so the traffic a monitoring query generates
+	// (e.g. aggregation-tree partials) shows up in its own bill rather
+	// than hiding in the system bucket. Between strands it still lands
+	// in system, and every bill lands in exactly one bucket either way,
+	// so per-query accounting keeps summing to node totals.
+	n.bill(dataflow.CostMarshal)
 	if sz := tuple.EncodedSize(t); cap(n.scratch) < sz {
 		n.scratch = make([]byte, 0, sz)
 	}

@@ -10,14 +10,15 @@ import (
 )
 
 // counterMap flattens a node's published nodeStats rows into name→value.
+// Rows are nodeStats(NAddr, Epoch, Counter, Value).
 func counterMap(h *harness, addr string) map[string]float64 {
 	out := make(map[string]float64)
 	for _, r := range h.rows(addr, engine.NodeStatsTableName) {
-		v := r.Field(2)
+		v := r.Field(3)
 		if v.Kind() == tuple.KindFloat {
-			out[r.Field(1).AsStr()] = v.AsFloat()
+			out[r.Field(2).AsStr()] = v.AsFloat()
 		} else {
-			out[r.Field(1).AsStr()] = float64(v.AsInt())
+			out[r.Field(2).AsStr()] = float64(v.AsInt())
 		}
 	}
 	return out
@@ -59,10 +60,11 @@ func TestStatsPublication(t *testing.T) {
 	}
 
 	// queryStats must cover the system query (publication bills there)
-	// and the installed program's query.
+	// and the installed program's query. Rows are
+	// queryStats(NAddr, Epoch, QueryID, Counter, Value).
 	queries := make(map[string]bool)
 	for _, r := range h.rows("n1", engine.QueryStatsTableName) {
-		queries[r.Field(1).AsStr()] = true
+		queries[r.Field(2).AsStr()] = true
 	}
 	if !queries[engine.SystemQuery] {
 		t.Errorf("queryStats has no %q rows: %v", engine.SystemQuery, queries)
@@ -93,7 +95,7 @@ func TestStatsPublication(t *testing.T) {
 // when a published counter changes value.
 func TestStatsPublicationFiresDeltaRules(t *testing.T) {
 	prog := pathProgram + `
-sp1 sawStats@NAddr(Counter, Value) :- nodeStats@NAddr(Counter, Value), Counter == "TuplesProcessed".
+sp1 sawStats@NAddr(Counter, Value) :- nodeStats@NAddr(Ep, Counter, Value), Counter == "TuplesProcessed".
 watch(sawStats).
 `
 	h := newHarness(t, prog, "n1")
@@ -141,7 +143,8 @@ func TestEnableStatsPublicationValidation(t *testing.T) {
 	}
 	h.net.Run(8)
 	h.noErrors()
-	if got := len(h.rows("n1", engine.NodeStatsTableName)); got != len(metrics.Node{}.Counters()) {
-		t.Fatalf("nodeStats has %d rows, want one per counter (%d)", got, len(metrics.Node{}.Counters()))
+	want := len(metrics.Node{}.Counters()) + len(n.ObsCounters())
+	if got := len(h.rows("n1", engine.NodeStatsTableName)); got != want {
+		t.Fatalf("nodeStats has %d rows, want one per counter (%d)", got, want)
 	}
 }

@@ -110,18 +110,25 @@ func (h Histogram) Sub(prev Histogram) Histogram {
 	return out
 }
 
-// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the
-// upper bound of the bucket in which the q·Count-th observation falls.
-// The resolution is the bucket width (a factor of two); for the
-// unbounded last bucket its lower bound is returned. Returns 0 when
-// empty.
+// Quantile returns an upper bound for the q-quantile: the upper bound
+// of the bucket in which the q·Count-th observation falls. The
+// resolution is the bucket width (a factor of two); for the unbounded
+// last bucket its (finite) lower bound is returned. Returns 0 when
+// empty. q is clamped to the observation range: q <= 0 (and NaN)
+// resolve to the first observation's bucket, q >= 1 to the last's —
+// Quantile never reports a rank outside the recorded population, so it
+// never returns +Inf (a q slightly above 1 from accumulated float
+// error previously walked off the end of the bucket array).
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.count == 0 {
 		return 0
 	}
 	rank := int64(math.Ceil(q * float64(h.count)))
-	if rank < 1 {
+	if math.IsNaN(q) || rank < 1 {
 		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
 	}
 	var cum int64
 	for i := 0; i < HistBuckets; i++ {
@@ -133,7 +140,9 @@ func (h *Histogram) Quantile(q float64) float64 {
 			return BucketBound(i)
 		}
 	}
-	return BucketBound(HistBuckets - 1)
+	// Unreachable while count equals the bucket sum (rank <= count means
+	// some prefix crosses it); kept finite for safety.
+	return HistBase * math.Ldexp(1, HistBuckets-2)
 }
 
 // Encode renders the histogram in a compact deterministic text form:

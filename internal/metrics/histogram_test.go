@@ -76,6 +76,85 @@ func TestHistogramObserveQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdgeCases pins the clamping contract: q outside
+// (0, 1] resolves to the first/last recorded observation and the result
+// is always finite — a q marginally above 1 (accumulated float error in
+// callers) used to walk past every bucket and report +Inf.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	single := func(v float64, n int) Histogram {
+		var h Histogram
+		for i := 0; i < n; i++ {
+			h.Observe(v)
+		}
+		return h
+	}
+	two := single(3e-6, 50)
+	for i := 0; i < 50; i++ {
+		two.Observe(1e-3)
+	}
+	lastLower := HistBase * math.Ldexp(1, HistBuckets-2)
+	cases := []struct {
+		name string
+		h    Histogram
+		q    float64
+		want float64
+	}{
+		{"empty q=0", Histogram{}, 0, 0},
+		{"empty q=1", Histogram{}, 1, 0},
+		{"empty q=NaN", Histogram{}, math.NaN(), 0},
+		{"single-bucket q=0", single(3e-6, 9), 0, BucketBound(2)},
+		{"single-bucket q=0.5", single(3e-6, 9), 0.5, BucketBound(2)},
+		{"single-bucket q=1", single(3e-6, 9), 1, BucketBound(2)},
+		{"single-observation q=1", single(1e-3, 1), 1, BucketBound(10)},
+		{"q below zero clamps to first", two, -0.5, BucketBound(2)},
+		{"q=NaN clamps to first", two, math.NaN(), BucketBound(2)},
+		{"q above one clamps to last", two, 1.0000001, BucketBound(10)},
+		{"two-bucket q=0.5 boundary", two, 0.5, BucketBound(2)},
+		{"two-bucket q just past half", two, 0.51, BucketBound(10)},
+		// The unbounded last bucket reports its finite lower bound, never
+		// +Inf — even for q=1 and beyond.
+		{"last bucket q=1", single(math.Inf(1), 3), 1, lastLower},
+		{"last bucket q=2", single(math.Inf(1), 3), 2, lastLower},
+	}
+	for _, tc := range cases {
+		got := tc.h.Quantile(tc.q)
+		if math.IsInf(got, 0) || got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestHistogramMergeEdgeCases: merging empty histograms in either
+// direction is the identity, and quantiles of a merge agree with the
+// merged population.
+func TestHistogramMergeEdgeCases(t *testing.T) {
+	var empty, h Histogram
+	for i := 0; i < 4; i++ {
+		h.Observe(3e-6)
+	}
+	snap := h
+	h.Merge(empty)
+	if h.Count() != snap.Count() || h.Sum() != snap.Sum() || h.Encode() != snap.Encode() {
+		t.Errorf("merge of empty changed histogram: %s vs %s", h.Encode(), snap.Encode())
+	}
+	empty.Merge(h)
+	if empty.Encode() != h.Encode() {
+		t.Errorf("merge into empty differs: %s vs %s", empty.Encode(), h.Encode())
+	}
+	var a, b Histogram
+	for i := 0; i < 10; i++ {
+		a.Observe(3e-6) // bucket 2
+	}
+	b.Observe(1e-3) // bucket 10
+	a.Merge(b)
+	if got, want := a.Quantile(1), BucketBound(10); got != want {
+		t.Errorf("post-merge max quantile = %v, want %v", got, want)
+	}
+	if got, want := a.Quantile(0.5), BucketBound(2); got != want {
+		t.Errorf("post-merge median = %v, want %v", got, want)
+	}
+}
+
 func TestHistogramMergeSub(t *testing.T) {
 	var a, b Histogram
 	for i := 0; i < 10; i++ {

@@ -16,12 +16,22 @@ import (
 // deterministic byte for byte for equal inputs: fixed counter order,
 // sorted query IDs, shortest-round-trip float formatting.
 //
+// extras are additional monotone counters rendered exactly like the
+// node counters, in slice order after them — the engine passes its
+// observability extras (engine.Node.ObsCounters: speculation and
+// trace-store totals) here, so the /metrics surface exposes counters
+// that deliberately live outside metrics.Node.
+//
 // The realtime driver serves this from an HTTP /metrics endpoint (see
 // realtime.UDPNode.ServeMetrics); the simulation harness writes it to
 // files next to exported traces.
-func WritePrometheus(w io.Writer, node string, m Node, queries map[string]Query, hists *NodeHists) error {
+func WritePrometheus(w io.Writer, node string, m Node, queries map[string]Query, hists *NodeHists, extras ...Counter) error {
 	ew := &errWriter{w: w}
 	for _, c := range m.Counters() {
+		fmt.Fprintf(ew, "# TYPE p2_%s_total counter\n", c.Prom)
+		fmt.Fprintf(ew, "p2_%s_total{node=%q} %s\n", c.Prom, node, formatValue(c))
+	}
+	for _, c := range extras {
 		fmt.Fprintf(ew, "# TYPE p2_%s_total counter\n", c.Prom)
 		fmt.Fprintf(ew, "p2_%s_total{node=%q} %s\n", c.Prom, node, formatValue(c))
 	}

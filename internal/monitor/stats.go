@@ -24,8 +24,8 @@ import (
 // one publication period old.
 func StatsProfilerRules(period float64) string {
 	return fmt.Sprintf(`
-pf1 profile@NAddr(NAddr, Counter, Value) :- periodic@NAddr(E, %[1]g), nodeStats@NAddr(Counter, Value).
-pf2 profQuery@NAddr(NAddr, QueryID, Counter, Value) :- periodic@NAddr(E, %[1]g), queryStats@NAddr(QueryID, Counter, Value).
+pf1 profile@NAddr(NAddr, Counter, Value) :- periodic@NAddr(E, %[1]g), nodeStats@NAddr(Ep, Counter, Value).
+pf2 profQuery@NAddr(NAddr, QueryID, Counter, Value) :- periodic@NAddr(E, %[1]g), queryStats@NAddr(Ep, QueryID, Counter, Value).
 
 watch(profile).
 watch(profQuery).

@@ -40,19 +40,30 @@ func TestStatsProfilerMatchesEngineMetrics(t *testing.T) {
 	start := r.Sim.Now()
 	snapA := n.Metrics()
 	queriesA := n.QueryMetrics()
+	obsA := n.ObsCounters()
 	r.Run(40)
 	snapB := n.Metrics()
 	queriesB := n.QueryMetrics()
+	obsB := n.ObsCounters()
 	if len(r.Errors) > 0 {
 		t.Fatalf("rule errors: %v", r.Errors[:min(3, len(r.Errors))])
 	}
 
+	// The published counter set is the node counters plus the
+	// observability extras (FanoutStats, trace-store totals); all are
+	// monotone, so the same snapshot-window bound applies.
 	lowNode := make(map[string]float64)
 	highNode := make(map[string]float64)
 	for _, c := range snapA.Counters() {
 		lowNode[c.Name] = c.Float()
 	}
+	for _, c := range obsA {
+		lowNode[c.Name] = c.Float()
+	}
 	for _, c := range snapB.Counters() {
+		highNode[c.Name] = c.Float()
+	}
+	for _, c := range obsB {
 		highNode[c.Name] = c.Float()
 	}
 
@@ -141,6 +152,75 @@ func TestStatsProfilerMatchesEngineMetrics(t *testing.T) {
 	}
 	if queriesB[metrics.SystemQuery].BusySeconds <= queriesA[metrics.SystemQuery].BusySeconds {
 		t.Error("system bucket did not grow during the window despite stats publication")
+	}
+}
+
+// statsEpochs collects the distinct epoch values present in a node's
+// published nodeStats and queryStats rows.
+func statsEpochs(r *chord.Ring, addr string) map[int64]int {
+	out := map[int64]int{}
+	now := r.Sim.Now()
+	for _, tab := range []string{"nodeStats", "queryStats"} {
+		if tb := r.Node(addr).Store().Get(tab); tb != nil {
+			tb.Scan(now, func(t tuple.Tuple) { out[t.Field(1).AsInt()]++ })
+		}
+	}
+	return out
+}
+
+// TestStatsEpochAcrossChurn: stats publication under churn. A node that
+// crashes and rejoins comes back as a new process incarnation: its
+// published rows carry the bumped epoch, and no stale rows from the
+// previous incarnation survive the restart — so a collector reading
+// nodeStats can tell a genuine counter reset (new epoch) from a counter
+// decrease (same epoch, which monotone counters forbid).
+func TestStatsEpochAcrossChurn(t *testing.T) {
+	const period = 5.0
+	r, err := chord.NewRing(chord.RingConfig{N: 6, Seed: 7, StatsPeriod: period})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(60)
+
+	if got := r.Node("n3").Epoch(); got != 0 {
+		t.Fatalf("pre-crash epoch = %d, want 0", got)
+	}
+	pre := statsEpochs(r, "n3")
+	if pre[0] == 0 || len(pre) != 1 {
+		t.Fatalf("pre-crash stats rows carry epochs %v, want only epoch 0", pre)
+	}
+
+	r.Net.Crash("n3")
+	r.Run(20)
+	r.Net.Rejoin("n3")
+	// At least one publication period in the new incarnation, plus a
+	// second for the replaced rows to settle.
+	r.Run(2 * period)
+
+	if got := r.Node("n3").Epoch(); got != 1 {
+		t.Fatalf("post-rejoin epoch = %d, want 1", got)
+	}
+	post := statsEpochs(r, "n3")
+	if post[1] == 0 {
+		t.Fatal("rejoined node published no stats rows under the new epoch")
+	}
+	if post[0] != 0 {
+		t.Errorf("%d stale stats rows from epoch 0 survived the rejoin", post[0])
+	}
+	// The engine-owned incarnation row agrees.
+	var epochRow int64 = -1
+	r.Node("n3").Store().Get("nodeEpoch").Scan(r.Sim.Now(), func(t tuple.Tuple) {
+		epochRow = t.Field(1).AsInt()
+	})
+	if epochRow != 1 {
+		t.Errorf("nodeEpoch row = %d, want 1", epochRow)
+	}
+	// A node that never crashed stays in its original incarnation.
+	if other := statsEpochs(r, "n2"); other[0] == 0 || len(other) != 1 {
+		t.Errorf("undisturbed node's stats rows carry epochs %v, want only epoch 0", other)
+	}
+	if len(r.Errors) > 0 {
+		t.Fatalf("rule errors: %v", r.Errors[:min(3, len(r.Errors))])
 	}
 }
 

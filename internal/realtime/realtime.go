@@ -233,11 +233,13 @@ func observeTaskStart(node *engine.Node, t task, remaining int) {
 }
 
 // Stats is one consistent snapshot of a node's counters, per-query
-// bills and histograms, taken on the node's own goroutine.
+// bills, histograms and observability extras (engine.Node.ObsCounters),
+// taken on the node's own goroutine.
 type Stats struct {
 	Node    metrics.Node
 	Queries map[string]metrics.Query
 	Hists   metrics.NodeHists
+	Extras  []metrics.Counter
 }
 
 // MetricsSnapshot returns a consistent stats snapshot for a node, safe
@@ -260,6 +262,7 @@ func (n *Network) MetricsSnapshot(addr string) (Stats, error) {
 			Node:    h.node.Metrics(),
 			Queries: h.node.QueryMetrics(),
 			Hists:   h.node.Hists(),
+			Extras:  h.node.ObsCounters(),
 		}
 	}
 	if !running {
@@ -307,7 +310,7 @@ func (n *Network) ServeMetrics(listen string) (string, error) {
 			if err != nil {
 				continue
 			}
-			if err := metrics.WritePrometheus(w, a, s.Node, s.Queries, &s.Hists); err != nil {
+			if err := metrics.WritePrometheus(w, a, s.Node, s.Queries, &s.Hists, s.Extras...); err != nil {
 				return
 			}
 		}

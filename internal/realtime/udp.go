@@ -278,6 +278,7 @@ func (u *UDPNode) MetricsSnapshot() Stats {
 			Node:    u.node.Metrics(),
 			Queries: u.node.QueryMetrics(),
 			Hists:   u.node.Hists(),
+			Extras:  u.node.ObsCounters(),
 		}
 	}
 	ch := make(chan Stats, 1)
@@ -311,7 +312,7 @@ func (u *UDPNode) ServeMetrics(addr string) (string, error) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		s := u.MetricsSnapshot()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		metrics.WritePrometheus(w, u.node.Addr(), s.Node, s.Queries, &s.Hists) //nolint:errcheck // client gone
+		metrics.WritePrometheus(w, u.node.Addr(), s.Node, s.Queries, &s.Hists, s.Extras...) //nolint:errcheck // client gone
 	})
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln) //nolint:errcheck // closed by Stop
