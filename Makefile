@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test check cover bench bench-smoke bench-churn bench-lifecycle bench-trace bench-profiler bench-agg bench-intranode bench-forensics bench-scale bench-aggtree fuzz examples tidy
+.PHONY: build test check cover bench bench-smoke bench-churn bench-lifecycle bench-trace bench-profiler bench-agg bench-intranode bench-forensics bench-scale bench-aggtree bench-realtime fuzz examples tidy
 
 build:
 	go build ./...
@@ -83,6 +83,13 @@ bench-scale:
 # and determinism gates; writes BENCH_aggtree.json.
 bench-aggtree:
 	go run ./cmd/p2bench -exp aggtree -json
+
+# Wall-clock UDP ingest: a paced open-loop generator against one UDP
+# node over loopback, gated at >=100k events/sec sustained with exact
+# overload accounting and a <=1 alloc/datagram reader hot path; writes
+# BENCH_realtime.json. (-rate/-payload/-conns override the load shape.)
+bench-realtime:
+	go run ./cmd/p2bench -exp realtime -json
 
 fuzz:
 	go test -run '^$$' -fuzz FuzzUnmarshal -fuzztime 30s ./internal/tuple/

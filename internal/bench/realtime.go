@@ -1,0 +1,309 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"p2go/internal/overlog"
+	"p2go/internal/realtime"
+)
+
+// The realtime experiment: wall-clock ingest throughput of the UDP
+// driver under heavy traffic, the one number the simulator cannot
+// produce. A paced open-loop generator (realtime.GenerateTraffic)
+// offers a fixed event rate over loopback to a single UDP node running
+// a minimal monitoring rule; the node ingests with the batched
+// recvmmsg/pooled-buffer pipeline (internal/realtime/task.go) and the
+// bench reports:
+//
+//   - sustained events/sec actually processed in the measurement
+//     window (after warmup), gated at RealtimeMinEventsPerSec;
+//   - end-to-end latency (sender wall-clock stamp to executor pickup)
+//     as p50/p99/p999 from the engine's hop histogram;
+//   - exact overload accounting: at quiescence every received datagram
+//     is processed, dropped on decode, dropped on overload, or dropped
+//     at shutdown — the conservation law is checked, not assumed;
+//   - a second point under OverloadBlock at a sustainable rate, gated
+//     on zero overload drops (backpressure, not shedding);
+//   - reader hot-path allocations per datagram
+//     (realtime.MeasureReaderAllocs), gated at
+//     RealtimeMaxReaderAllocs.
+const (
+	// RealtimeRate is the offered load of the full drop-mode point —
+	// deliberately above the 100k gate so the pipeline is measured at
+	// (or past) saturation rather than idling at the target.
+	RealtimeRate = 130000
+	// RealtimeMinEventsPerSec is the processed-throughput gate for the
+	// full run (the ISSUE-10 acceptance number).
+	RealtimeMinEventsPerSec = 100000
+	// RealtimeBlockRate is the offered load of the backpressure point;
+	// modest, because the gate there is exactness (no drops), not
+	// throughput.
+	RealtimeBlockRate = 20000
+	// RealtimeWarm/RealtimeWindow bound the drop point: warmup before
+	// the measurement window opens, then the measured window.
+	RealtimeWarm   = 2 * time.Second
+	RealtimeWindow = 6 * time.Second
+	// RealtimeMaxReaderAllocs is the reader hot-path allocation budget
+	// per datagram (ISSUE 10: down from 3+ to <=1; steady state
+	// measures 0).
+	RealtimeMaxReaderAllocs = 1.0
+
+	// Quick (CI smoke) variants: small enough for a shared runner,
+	// still end-to-end over a real socket.
+	RealtimeQuickRate            = 40000
+	RealtimeQuickMinEventsPerSec = 15000
+	RealtimeQuickBlockRate       = 8000
+	RealtimeQuickWarm            = 500 * time.Millisecond
+	RealtimeQuickWindow          = 2 * time.Second
+)
+
+// realtimeProgram is the receiver's workload: one monitoring rule per
+// event — trigger, projection, head emission — the minimal pipeline
+// that still exercises the full ingest path into the engine.
+const realtimeProgram = `
+r1 seen@N(S) :- ev@N(S, P).
+`
+
+// RealtimePoint is one measured configuration of the UDP pipeline.
+type RealtimePoint struct {
+	// Mode is the overload policy: "drop" or "block".
+	Mode string
+	// Rate is the generator's target events/sec; Offered/OfferedRate
+	// what it actually handed to the kernel; GenErrors its send errors.
+	Rate        int
+	Offered     int64
+	OfferedRate float64
+	GenErrors   int64
+	// EventsPerSec is processed datagrams per second over the
+	// measurement window (the headline number); WindowSecs the window
+	// length; WindowProcessed the datagrams processed in it.
+	EventsPerSec    float64
+	WindowSecs      float64
+	WindowProcessed int64
+	// P50Ms/P99Ms/P999Ms are end-to-end ingest latency quantiles over
+	// the window (sender send stamp to executor pickup), in
+	// milliseconds.
+	P50Ms, P99Ms, P999Ms float64
+	// Transport is the node's final datagram accounting at quiescence.
+	Transport realtime.TransportStats
+	// KernelLost is offered minus received: datagrams the kernel socket
+	// buffer shed before the reader saw them (invisible to user space
+	// except by this subtraction).
+	KernelLost int64
+	// InvariantOK reports the conservation law at quiescence:
+	// received == processed + dropDecode + dropOverload + dropShutdown.
+	InvariantOK bool
+	// AllocsPerEvent is process-wide heap allocations per processed
+	// event over the window — generator included, so an upper bound on
+	// the pipeline's own rate (informational, not gated).
+	AllocsPerEvent float64
+}
+
+// RealtimeResult is the full experiment.
+type RealtimeResult struct {
+	Quick                bool
+	Payload, Conns       int
+	QueueDepth, Readers  int
+	Drop, Block          RealtimePoint
+	ReaderAllocsPerEvent float64
+	// Gates (also enforced by cmd/p2bench).
+	SustainedOK     bool
+	MinEventsPerSec float64
+	ReaderAllocsOK  bool
+	BlockNoDrops    bool
+}
+
+// realtimeInvariant checks the conservation law on a quiesced node.
+func realtimeInvariant(s realtime.TransportStats) bool {
+	return s.DatagramsRecv == s.DatagramsProcessed+s.DropDecode+s.DropOverload+s.DropShutdown
+}
+
+// realtimeQuiesce waits for the node's queue to drain after the
+// generator stops: the transport counters stop moving and the
+// conservation law holds.
+func realtimeQuiesce(u *realtime.UDPNode, timeout time.Duration) realtime.TransportStats {
+	deadline := time.Now().Add(timeout)
+	prev := u.TransportStats()
+	for time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+		s := u.TransportStats()
+		if s == prev && realtimeInvariant(s) {
+			return s
+		}
+		prev = s
+	}
+	return prev
+}
+
+// realtimePoint runs one generator-against-node measurement.
+func realtimePoint(seed int64, mode string, policy realtime.OverloadPolicy,
+	rate, payload, conns, queueDepth int, warm, window time.Duration) (RealtimePoint, error) {
+
+	prog, err := overlog.Parse(realtimeProgram)
+	if err != nil {
+		return RealtimePoint{}, err
+	}
+	u, err := realtime.NewUDPNode(realtime.UDPNodeConfig{
+		Addr:        "rt",
+		Listen:      "127.0.0.1:0",
+		Seed:        seed,
+		QueueDepth:  queueDepth,
+		MaxDatagram: 1024,
+		SocketBuf:   8 << 20,
+		Overload:    policy,
+	})
+	if err != nil {
+		return RealtimePoint{}, err
+	}
+	defer u.Stop()
+	if err := u.Node().InstallProgram(prog); err != nil {
+		return RealtimePoint{}, err
+	}
+	u.Start()
+
+	type genDone struct {
+		stats realtime.GenStats
+		err   error
+	}
+	done := make(chan genDone, 1)
+	go func() {
+		gs, err := realtime.GenerateTraffic(realtime.GenConfig{
+			Target:   u.LocalAddr(),
+			Dst:      "rt",
+			Rate:     rate,
+			Conns:    conns,
+			Payload:  payload,
+			Duration: warm + window,
+		})
+		done <- genDone{gs, err}
+	}()
+
+	time.Sleep(warm)
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	ts0 := u.TransportStats()
+	s0 := u.MetricsSnapshot()
+
+	gd := <-done
+	if gd.err != nil {
+		return RealtimePoint{}, gd.err
+	}
+	s1 := u.MetricsSnapshot()
+	ts1 := u.TransportStats()
+	elapsed := time.Since(t0).Seconds()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+
+	final := realtimeQuiesce(u, 5*time.Second)
+	hop := s1.Hists.HopLatency.Sub(s0.Hists.HopLatency)
+	processed := ts1.DatagramsProcessed - ts0.DatagramsProcessed
+	p := RealtimePoint{
+		Mode:            mode,
+		Rate:            rate,
+		Offered:         gd.stats.Sent,
+		OfferedRate:     gd.stats.OfferedRate,
+		GenErrors:       gd.stats.Errors,
+		WindowSecs:      elapsed,
+		WindowProcessed: processed,
+		P50Ms:           hop.Quantile(0.50) * 1000,
+		P99Ms:           hop.Quantile(0.99) * 1000,
+		P999Ms:          hop.Quantile(0.999) * 1000,
+		Transport:       final,
+		KernelLost:      gd.stats.Sent - final.DatagramsRecv,
+		InvariantOK:     realtimeInvariant(final),
+	}
+	if elapsed > 0 {
+		p.EventsPerSec = float64(processed) / elapsed
+	}
+	if processed > 0 {
+		p.AllocsPerEvent = float64(m1.Mallocs-m0.Mallocs) / float64(processed)
+	}
+	return p, nil
+}
+
+// Realtime runs the wall-clock ingest experiment. rate/payload/conns
+// override the built-in load shape when positive (cmd/p2bench flags);
+// zero values take the defaults above.
+func Realtime(seed int64, quick bool, rate, payload, conns int) (*RealtimeResult, error) {
+	dropRate, blockRate := RealtimeRate, RealtimeBlockRate
+	warm, window := RealtimeWarm, RealtimeWindow
+	minEPS := float64(RealtimeMinEventsPerSec)
+	if quick {
+		dropRate, blockRate = RealtimeQuickRate, RealtimeQuickBlockRate
+		warm, window = RealtimeQuickWarm, RealtimeQuickWindow
+		minEPS = RealtimeQuickMinEventsPerSec
+	}
+	if rate > 0 {
+		dropRate = rate
+	}
+	if payload <= 0 {
+		payload = 16
+	}
+	if conns <= 0 {
+		conns = 2
+	}
+	const queueDepth = 8192
+
+	readerAllocs, err := realtime.MeasureReaderAllocs(20000)
+	if err != nil {
+		return nil, err
+	}
+
+	drop, err := realtimePoint(seed, "drop", realtime.OverloadDrop,
+		dropRate, payload, conns, queueDepth, warm, window)
+	if err != nil {
+		return nil, err
+	}
+	// The backpressure point: a sustainable rate where blocking must
+	// yield zero overload drops and exact accounting.
+	block, err := realtimePoint(seed+1, "block", realtime.OverloadBlock,
+		blockRate, payload, conns, queueDepth, warm/2, window/2)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &RealtimeResult{
+		Quick:                quick,
+		Payload:              payload,
+		Conns:                conns,
+		QueueDepth:           queueDepth,
+		Readers:              1,
+		Drop:                 drop,
+		Block:                block,
+		ReaderAllocsPerEvent: readerAllocs,
+		MinEventsPerSec:      minEPS,
+	}
+	res.SustainedOK = drop.EventsPerSec >= minEPS
+	res.ReaderAllocsOK = readerAllocs <= RealtimeMaxReaderAllocs
+	res.BlockNoDrops = block.Transport.DropOverload == 0 && block.InvariantOK
+	return res, nil
+}
+
+// FormatRealtime renders the experiment as a text table.
+func FormatRealtime(r *RealtimeResult) string {
+	var b strings.Builder
+	mode := "full"
+	if r.Quick {
+		mode = "quick"
+	}
+	fmt.Fprintf(&b, "realtime ingest (%s): payload=%dB conns=%d queue=%d\n",
+		mode, r.Payload, r.Conns, r.QueueDepth)
+	fmt.Fprintf(&b, "%-6s %10s %10s %12s %9s %9s %9s %10s %9s %6s\n",
+		"mode", "offered/s", "events/s", "processed", "p50 ms", "p99 ms", "p99.9 ms", "dropOver", "kernLost", "exact")
+	row := func(p RealtimePoint) {
+		fmt.Fprintf(&b, "%-6s %10.0f %10.0f %12d %9.3f %9.3f %9.3f %10d %9d %6v\n",
+			p.Mode, p.OfferedRate, p.EventsPerSec, p.Transport.DatagramsProcessed,
+			p.P50Ms, p.P99Ms, p.P999Ms, p.Transport.DropOverload, p.KernelLost, p.InvariantOK)
+	}
+	row(r.Drop)
+	row(r.Block)
+	fmt.Fprintf(&b, "reader hot path: %.3f allocs/datagram (budget %.1f)\n",
+		r.ReaderAllocsPerEvent, float64(RealtimeMaxReaderAllocs))
+	fmt.Fprintf(&b, "gates: sustained>=%.0f/s %v · reader allocs %v · block exact %v\n",
+		r.MinEventsPerSec, r.SustainedOK, r.ReaderAllocsOK, r.BlockNoDrops)
+	return b.String()
+}

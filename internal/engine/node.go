@@ -171,6 +171,16 @@ type Config struct {
 	// tracing is enabled too. The P2GO_DISABLE_TRACESTORE environment
 	// variable force-disables it process-wide (kill switch).
 	TraceStore *tracestore.Config
+	// ExtraObs, when non-nil, contributes driver-owned counters appended
+	// to ObsCounters — the realtime transport publishes its datagram and
+	// overload-drop totals through this so they reach the queryable
+	// nodeStats table and the Prometheus exposition. Implementations must
+	// be safe to call from the node's executor goroutine while other
+	// goroutines (e.g. a socket reader) update the underlying values:
+	// transport counters are atomics. Simulated drivers leave it nil, so
+	// the published row set stays mode-invariant where the determinism
+	// fingerprints demand it.
+	ExtraObs func() []metrics.Counter
 }
 
 type queued struct {
@@ -570,7 +580,7 @@ func (n *Node) ObsCounters() []metrics.Counter {
 	if st := n.TraceStore(); st != nil {
 		ss = st.Stats()
 	}
-	return []metrics.Counter{
+	cs := []metrics.Counter{
 		{Name: "FanoutCommitted", Prom: "fanout_committed", I: fs.Committed},
 		{Name: "FanoutAborted", Prom: "fanout_aborted", I: fs.Aborted},
 		{Name: "FanoutSeqSeconds", Prom: "fanout_seq_seconds", IsFloat: true, F: fs.SeqSeconds},
@@ -580,6 +590,10 @@ func (n *Node) ObsCounters() []metrics.Counter {
 		{Name: "StoreSealedRecords", Prom: "store_sealed_records", I: ss.SealedRecords},
 		{Name: "StoreEncodedBytes", Prom: "store_encoded_bytes", I: ss.TotalEncodedBytes},
 	}
+	if n.cfg.ExtraObs != nil {
+		cs = append(cs, n.cfg.ExtraObs()...)
+	}
+	return cs
 }
 
 func counterValue(c metrics.Counter) tuple.Value {

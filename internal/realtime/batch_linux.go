@@ -1,0 +1,164 @@
+//go:build linux && (amd64 || arm64)
+
+package realtime
+
+import (
+	"net"
+	"syscall"
+	"unsafe"
+)
+
+// Batched UDP I/O via recvmmsg/sendmmsg, driven through the runtime
+// poller (RawConn.Read/Write keep the goroutine parked until the socket
+// is ready, so this composes with net.UDPConn deadlines and Close).
+// One syscall moves up to ioBatch datagrams in either direction, which
+// is the difference between ~100k syscalls/sec and ~3k at the bench's
+// target rate. The stdlib syscall package has Msghdr and Iovec but not
+// the mmsghdr wrapper, so that one struct is defined here; the build
+// tag pins the architectures whose Msghdr field types match the
+// assignments below. Other platforms fall back to per-datagram reads
+// (udp.go readPortable, gen.go single sends).
+
+// ioBatch is the number of datagrams moved per recvmmsg/sendmmsg call.
+const ioBatch = 32
+
+// mmsghdr mirrors struct mmsghdr from <sys/socket.h>.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	len uint32
+	_   [4]byte
+}
+
+func recvmmsg(fd uintptr, hdrs []mmsghdr, flags uintptr) (int, syscall.Errno) {
+	n, _, e := syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
+		uintptr(unsafe.Pointer(&hdrs[0])), uintptr(len(hdrs)), flags, 0, 0)
+	return int(n), e
+}
+
+func sendmmsg(fd uintptr, hdrs []mmsghdr, flags uintptr) (int, syscall.Errno) {
+	n, _, e := syscall.Syscall6(sysSendmmsg, fd,
+		uintptr(unsafe.Pointer(&hdrs[0])), uintptr(len(hdrs)), flags, 0, 0)
+	return int(n), e
+}
+
+// batchReader reads up to ioBatch datagrams per syscall into pooled
+// buffers. Not goroutine-safe; each reader goroutine owns one.
+type batchReader struct {
+	rc   syscall.RawConn
+	pool *bufPool
+	bufs [ioBatch]*[]byte
+	iovs [ioBatch]syscall.Iovec
+	hdrs [ioBatch]mmsghdr
+}
+
+func newBatchReader(conn *net.UDPConn, pool *bufPool) *batchReader {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	return &batchReader{rc: rc, pool: pool}
+}
+
+// read blocks until at least one datagram arrives (or the socket
+// closes: ok=false) and returns how many slots were filled.
+func (br *batchReader) read() (cnt int, ok bool) {
+	for i := 0; i < ioBatch; i++ {
+		if br.bufs[i] == nil {
+			br.bufs[i] = br.pool.get()
+		}
+		b := *br.bufs[i]
+		br.iovs[i].Base = &b[0]
+		br.iovs[i].SetLen(len(b))
+		br.hdrs[i].hdr = syscall.Msghdr{Iov: &br.iovs[i], Iovlen: 1}
+		br.hdrs[i].len = 0
+	}
+	var errno syscall.Errno
+	err := br.rc.Read(func(fd uintptr) bool {
+		for {
+			n, e := recvmmsg(fd, br.hdrs[:], uintptr(syscall.MSG_DONTWAIT))
+			switch e {
+			case syscall.EINTR:
+				continue
+			case syscall.EAGAIN:
+				return false // park on the poller until readable
+			default:
+				cnt, errno = n, e
+				return true
+			}
+		}
+	})
+	if err != nil || errno != 0 {
+		return 0, false
+	}
+	return cnt, true
+}
+
+// take transfers slot i's buffer to the caller, reporting the datagram
+// length and whether the kernel truncated it to fit the buffer.
+func (br *batchReader) take(i int) (buf *[]byte, n int, trunc bool) {
+	buf = br.bufs[i]
+	br.bufs[i] = nil
+	return buf, int(br.hdrs[i].len), br.hdrs[i].hdr.Flags&syscall.MSG_TRUNC != 0
+}
+
+// batchSender writes multiple frames per sendmmsg call on a connected
+// UDP socket (the traffic generator's send path). Not goroutine-safe.
+type batchSender struct {
+	rc   syscall.RawConn
+	iovs [ioBatch]syscall.Iovec
+	hdrs [ioBatch]mmsghdr
+}
+
+func newBatchSender(conn *net.UDPConn) *batchSender {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	return &batchSender{rc: rc}
+}
+
+// send writes all frames (in ioBatch-sized syscalls), returning the
+// number fully handed to the kernel and the first hard error.
+func (bs *batchSender) send(frames [][]byte) (int, error) {
+	sent := 0
+	for sent < len(frames) {
+		k := len(frames) - sent
+		if k > ioBatch {
+			k = ioBatch
+		}
+		for i := 0; i < k; i++ {
+			f := frames[sent+i]
+			bs.iovs[i].Base = &f[0]
+			bs.iovs[i].SetLen(len(f))
+			bs.hdrs[i].hdr = syscall.Msghdr{Iov: &bs.iovs[i], Iovlen: 1}
+			bs.hdrs[i].len = 0
+		}
+		var n int
+		var errno syscall.Errno
+		err := bs.rc.Write(func(fd uintptr) bool {
+			for {
+				c, e := sendmmsg(fd, bs.hdrs[:k], uintptr(syscall.MSG_DONTWAIT))
+				switch e {
+				case syscall.EINTR:
+					continue
+				case syscall.EAGAIN:
+					return false // wait for writability
+				default:
+					n, errno = c, e
+					return true
+				}
+			}
+		})
+		if err != nil {
+			return sent, err
+		}
+		if errno != 0 {
+			return sent, errno
+		}
+		if n <= 0 {
+			return sent, syscall.EIO
+		}
+		sent += n
+	}
+	return sent, nil
+}

@@ -1,0 +1,7 @@
+//go:build linux
+
+package realtime
+
+// The stdlib syscall package predates sendmmsg and never regenerated
+// the amd64 table, so the number is pinned here (arm64's table has it).
+const sysSendmmsg uintptr = 307

@@ -1,0 +1,7 @@
+//go:build linux
+
+package realtime
+
+import "syscall"
+
+const sysSendmmsg uintptr = syscall.SYS_SENDMMSG

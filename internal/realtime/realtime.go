@@ -7,7 +7,10 @@
 //
 // The simulator remains the right tool for benchmarks and reproducible
 // tests; this driver exists for interactive use (cmd/p2node -realtime)
-// and as the deployment shape a real P2 system would have.
+// and as the deployment shape a real P2 system would have. The hot path
+// (task.go, udp.go, batch_linux.go) is engineered for sustained 100k+
+// events/sec; docs/REALTIME.md describes the pipeline and its knobs,
+// and internal/bench/realtime.go measures it.
 //
 // Concurrency invariant: every engine.Node has exactly one writer — the
 // goroutine serializing its tasks. The node's counters and histograms
@@ -15,8 +18,8 @@
 // values; reading them from any other goroutine while the node runs is
 // a data race. Concurrent inspection goes through MetricsSnapshot
 // (Network) or UDPNode.MetricsSnapshot, which run the read as a task on
-// the owning goroutine. Transport-level counters, which the socket
-// reader goroutine updates, are atomics (see transportCounters).
+// the owning goroutine. Transport-level counters, which producer
+// goroutines update, are atomics (see transportCounters).
 package realtime
 
 import (
@@ -42,18 +45,15 @@ type Config struct {
 	MinDelay, MaxDelay time.Duration
 	// QueueDepth is the per-node task channel capacity (default 1024).
 	QueueDepth int
+	// Overload selects the full-queue policy for message delivery and
+	// Inject: OverloadDrop (default, shed and count) or OverloadBlock
+	// (backpressure — senders and injectors wait for queue space).
+	Overload OverloadPolicy
 	// OnWatch and OnRuleError mirror the simnet hooks. They are called
 	// from node goroutines; implementations must be safe for concurrent
 	// use.
 	OnWatch     func(now float64, node string, t tuple.Tuple)
 	OnRuleError func(now float64, node, ruleID string, err error)
-}
-
-// task is one unit of node work plus its enqueue time, so the executor
-// can observe queue wait and depth as it starts.
-type task struct {
-	run func()
-	at  time.Time
 }
 
 type host struct {
@@ -64,6 +64,12 @@ type host struct {
 	// "goroutine no longer touching the node" an observable event —
 	// after it, direct reads of the node are safe.
 	stopped chan struct{}
+	// stats counts transport-level outcomes for this host's inbound
+	// queue. The channel transport has no wire, so only the receive-side
+	// counters are populated (DatagramsRecv counts messages offered to
+	// the host, bytes are payload bytes); send-side traffic is already
+	// counted by the engine's own MsgsSent/BytesSent.
+	stats transportCounters
 }
 
 // Network runs nodes in real time. Create it, AddNode + InstallProgram
@@ -136,6 +142,7 @@ func (n *Network) AddNode(addr string) (*engine.Node, error) {
 			n.deliver(dst, env)
 		},
 		OnNewPeriodic: func(p *engine.Periodic) { n.armTimer(h, p) },
+		ExtraObs:      h.stats.obs,
 	}
 	if n.cfg.OnWatch != nil {
 		cfg.OnWatch = func(now float64, t tuple.Tuple) { n.cfg.OnWatch(now, addr, t) }
@@ -151,8 +158,10 @@ func (n *Network) AddNode(addr string) (*engine.Node, error) {
 }
 
 // deliver enqueues a message task on the destination's goroutine after
-// the sampled link delay. Messages to unknown or stopped nodes are
-// dropped, as on a real datagram network.
+// the sampled link delay, applying the network's overload policy.
+// Messages to unknown nodes are dropped silently (as on a real datagram
+// network); messages shed on a full queue are counted in the
+// destination's DropOverload.
 func (n *Network) deliver(dst string, env engine.Envelope) {
 	n.mu.Lock()
 	h, ok := n.hosts[dst]
@@ -160,17 +169,16 @@ func (n *Network) deliver(dst string, env engine.Envelope) {
 	if !ok {
 		return
 	}
-	sent := time.Now()
+	sentNanos := time.Now().UnixNano()
 	send := func() {
-		select {
-		case h.tasks <- task{at: time.Now(), run: func() {
-			// Hop latency is send-to-observation wall time, measured on
-			// the node goroutine (the single writer of node state).
-			h.node.ObserveHop(time.Since(sent).Seconds())
-			h.node.HandleMessage(env)
-		}}:
-		case <-h.done:
-		default: // queue full: drop, like UDP under overload
+		h.stats.datagramsRecv.Add(1)
+		h.stats.bytesRecv.Add(int64(len(env.Raw)))
+		dropped, stopped := enqueue(h.tasks, h.done, n.cfg.Overload,
+			task{at: time.Now(), sent: sentNanos, kind: taskMsg, env: env})
+		if dropped {
+			h.stats.dropOverload.Add(1)
+		} else if stopped {
+			h.stats.dropShutdown.Add(1)
 		}
 	}
 	if d := n.randDelay(); d > 0 {
@@ -180,32 +188,20 @@ func (n *Network) deliver(dst string, env engine.Envelope) {
 	}
 }
 
-// armTimer schedules a periodic trigger with jittered phase.
+// armTimer schedules a periodic trigger with jittered phase on a single
+// resettable timer (see armPeriodic).
 func (n *Network) armTimer(h *host, p *engine.Periodic) {
 	period := time.Duration(p.Period() * float64(time.Second))
 	n.rngMu.Lock()
 	first := time.Duration(float64(period) * (0.05 + 0.95*n.rng.Float64()))
 	n.rngMu.Unlock()
-	var fire func()
-	fire = func() {
-		select {
-		case <-h.done:
-			return
-		default:
-		}
-		select {
-		case h.tasks <- task{at: time.Now(), run: func() { h.node.HandleTimer(p) }}:
-		case <-h.done:
-			return
-		}
-		if !p.Done() {
-			time.AfterFunc(period, fire)
-		}
-	}
-	time.AfterFunc(first, fire)
+	armPeriodic(h.tasks, h.done, p, first)
 }
 
-// Inject hands a tuple to a node as a local event.
+// Inject hands a tuple to a node as a local event, honoring the
+// network's overload policy: under OverloadDrop a full queue sheds the
+// event (counted in the node's DropInject) and returns ErrOverload;
+// under OverloadBlock the call waits for queue space.
 func (n *Network) Inject(addr string, t tuple.Tuple) error {
 	n.mu.Lock()
 	h, ok := n.hosts[addr]
@@ -217,19 +213,29 @@ func (n *Network) Inject(addr string, t tuple.Tuple) error {
 	if !running {
 		return fmt.Errorf("realtime: network not running")
 	}
-	select {
-	case h.tasks <- task{at: time.Now(), run: func() { h.node.HandleLocal(t) }}:
-		return nil
-	case <-h.done:
-		return fmt.Errorf("realtime: node %s stopped", addr)
+	dropped, stopped := enqueue(h.tasks, h.done, n.cfg.Overload,
+		task{at: time.Now(), kind: taskLocal, tup: t})
+	if stopped {
+		return fmt.Errorf("realtime: node %s: %w", addr, ErrStopped)
 	}
+	if dropped {
+		h.stats.dropInject.Add(1)
+		return fmt.Errorf("realtime: node %s: %w", addr, ErrOverload)
+	}
+	return nil
 }
 
-// observeTaskStart records queue wait and depth for a dequeued task.
-// remaining is the channel length after the dequeue; the task itself is
-// counted back in. Runs on the node's executor goroutine.
-func observeTaskStart(node *engine.Node, t task, remaining int) {
-	node.ObserveQueueWait(time.Since(t.at).Seconds(), remaining+1)
+// TransportStats snapshots a node's queue-level counters (message
+// deliveries, overload drops, inject drops); safe against a running
+// network.
+func (n *Network) TransportStats(addr string) (TransportStats, error) {
+	n.mu.Lock()
+	h, ok := n.hosts[addr]
+	n.mu.Unlock()
+	if !ok {
+		return TransportStats{}, fmt.Errorf("realtime: no node %s", addr)
+	}
+	return h.stats.snapshot(), nil
 }
 
 // Stats is one consistent snapshot of a node's counters, per-query
@@ -270,7 +276,7 @@ func (n *Network) MetricsSnapshot(addr string) (Stats, error) {
 	}
 	ch := make(chan Stats, 1)
 	select {
-	case h.tasks <- task{at: time.Now(), run: func() { ch <- read() }}:
+	case h.tasks <- task{at: time.Now(), kind: taskFunc, fn: func() { ch <- read() }}:
 	case <-h.stopped:
 		return read(), nil // goroutine gone: direct read is safe
 	}
@@ -352,13 +358,13 @@ func (n *Network) Start() {
 			// Sweep soft state about once per second.
 			sweep := time.NewTicker(time.Second)
 			defer sweep.Stop()
+			processed := func(t *task) { h.stats.datagramsProcessed.Add(1) }
 			for {
 				select {
 				case <-h.done:
 					return
 				case t := <-h.tasks:
-					observeTaskStart(h.node, t, len(h.tasks))
-					t.run()
+					drainBatch(h.node, h.tasks, t, processed)
 				case <-sweep.C:
 					h.node.Sweep()
 				}
@@ -367,7 +373,9 @@ func (n *Network) Start() {
 	}
 }
 
-// Stop shuts all node goroutines down and waits for them.
+// Stop shuts all node goroutines down, waits for them, then accounts
+// any message tasks still queued (DropShutdown) so the conservation law
+// over TransportStats holds exactly even for an abrupt stop.
 func (n *Network) Stop() {
 	n.mu.Lock()
 	if !n.started {
@@ -385,6 +393,21 @@ func (n *Network) Stop() {
 		ln.Close()
 	}
 	n.wg.Wait()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, h := range n.hosts {
+	drain:
+		for {
+			select {
+			case t := <-h.tasks:
+				if t.kind == taskMsg {
+					h.stats.dropShutdown.Add(1)
+				}
+			default:
+				break drain
+			}
+		}
+	}
 }
 
 // InstallAll installs a program on every node (before Start).

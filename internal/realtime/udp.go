@@ -20,10 +20,20 @@ import (
 //
 // Datagram format:
 //
-//	srcLen(uvarint) src srcTupleID(uvarint) tupleBytes
+//	srcLen(uvarint) src sentNanos(8B LE) srcTupleID(uvarint) tupleBytes
 //
-// where tupleBytes is the standard tuple wire encoding. Datagrams that
-// fail to decode are dropped, as UDP noise should be.
+// where tupleBytes is the standard tuple wire encoding and sentNanos is
+// the sender's wall clock (unix nanoseconds) at transmission, letting
+// the receiver observe end-to-end ingest latency in its hop histogram
+// (exact on one host; across hosts it inherits clock skew like any
+// one-way delay measure). Datagrams that fail to decode are dropped and
+// counted, as UDP noise should be.
+//
+// The receive path is built for sustained 100k+ datagrams/sec: pooled
+// receive buffers, batched socket reads (recvmmsg where the platform
+// has it, with a portable multi-reader fallback), allocation-free task
+// dispatch, and a batched executor dequeue. See task.go and
+// docs/REALTIME.md.
 
 // UDPNodeConfig configures a single-process UDP node.
 type UDPNodeConfig struct {
@@ -36,6 +46,26 @@ type UDPNodeConfig struct {
 	Peers map[string]string
 	// Seed seeds the node RNG.
 	Seed int64
+	// QueueDepth is the executor task-queue capacity (default 1024).
+	QueueDepth int
+	// MaxDatagram is the receive-buffer size handed to the socket per
+	// datagram (default 64 KiB, the UDP maximum). Smaller values shrink
+	// the buffer pool's footprint under overload; datagrams longer than
+	// this are truncated by the kernel, fail to decode, and count in
+	// DropDecode.
+	MaxDatagram int
+	// Readers is the number of socket-reader goroutines (default 1).
+	// More readers help on multi-core hosts, and are the batching
+	// fallback on platforms without recvmmsg.
+	Readers int
+	// SocketBuf, when positive, requests this SO_RCVBUF size so the
+	// kernel absorbs bursts the executor has not yet drained.
+	SocketBuf int
+	// Overload selects the full-queue policy: OverloadDrop (default,
+	// UDP-style shed with exact accounting) or OverloadBlock
+	// (backpressure). Inject honors the same policy as the socket
+	// reader.
+	Overload OverloadPolicy
 	// OnWatch and OnRuleError mirror the other drivers' hooks (called
 	// from the node goroutine).
 	OnWatch     func(now float64, t tuple.Tuple)
@@ -45,11 +75,15 @@ type UDPNodeConfig struct {
 // UDPNode runs one engine node on a UDP socket with a dedicated
 // goroutine serializing its tasks.
 type UDPNode struct {
-	node  *engine.Node
-	conn  *net.UDPConn
-	peers map[string]*net.UDPAddr
-	tasks chan task
-	done  chan struct{}
+	node     *engine.Node
+	conn     *net.UDPConn
+	peers    map[string]*net.UDPAddr
+	tasks    chan task
+	done     chan struct{}
+	overload OverloadPolicy
+	readers  int
+	pool     *bufPool
+	sendBuf  []byte // marshal scratch, touched only by the executor goroutine
 	// stopped is closed by the executor goroutine as it exits; after it,
 	// direct reads of the node are safe (see the package doc's
 	// single-writer invariant).
@@ -67,63 +101,130 @@ type UDPNode struct {
 // MsgsRecv, BytesRecv) keep counting payload traffic on this transport
 // exactly as they do under the simulator; these add the wire view plus
 // the drop reasons the simulator doesn't have.
+//
+// The counters satisfy an exact conservation law:
+//
+//	DatagramsRecv = DatagramsProcessed + DropDecode + DropOverload
+//	              + DropShutdown + (still queued)
+//
+// so once the queue drains (quiescence, or after Stop) every received
+// datagram is accounted for by exactly one of the four outcomes.
 type TransportStats struct {
 	// DatagramsSent/BytesSent count framed datagrams written to peers.
 	DatagramsSent, BytesSent int64
 	// DatagramsRecv/BytesRecv count datagrams read off the socket
 	// (before decode).
 	DatagramsRecv, BytesRecv int64
+	// DatagramsProcessed counts datagrams whose task the executor ran
+	// through the engine.
+	DatagramsProcessed int64
 	// DropUnknownPeer counts sends to P2 addresses with no peer
-	// mapping; DropDecode counts undecodable datagrams; DropOverload
-	// counts datagrams shed because the task queue was full.
-	DropUnknownPeer, DropDecode, DropOverload int64
+	// mapping; DropDecode counts undecodable (or kernel-truncated)
+	// datagrams; DropOverload counts datagrams shed under OverloadDrop
+	// because the task queue was full; DropShutdown counts datagrams
+	// discarded while stopping (enqueue raced Stop, or still queued
+	// when the executor exited).
+	DropUnknownPeer, DropDecode, DropOverload, DropShutdown int64
+	// DropInject counts Inject calls shed under OverloadDrop. Injected
+	// events are local, not datagrams, so this is deliberately outside
+	// the conservation law above.
+	DropInject int64
 }
 
 type transportCounters struct {
 	datagramsSent, bytesSent                  atomic.Int64
 	datagramsRecv, bytesRecv                  atomic.Int64
+	datagramsProcessed                        atomic.Int64
 	dropUnknownPeer, dropDecode, dropOverload atomic.Int64
+	dropShutdown, dropInject                  atomic.Int64
+}
+
+func (c *transportCounters) snapshot() TransportStats {
+	return TransportStats{
+		DatagramsSent:      c.datagramsSent.Load(),
+		BytesSent:          c.bytesSent.Load(),
+		DatagramsRecv:      c.datagramsRecv.Load(),
+		BytesRecv:          c.bytesRecv.Load(),
+		DatagramsProcessed: c.datagramsProcessed.Load(),
+		DropUnknownPeer:    c.dropUnknownPeer.Load(),
+		DropDecode:         c.dropDecode.Load(),
+		DropOverload:       c.dropOverload.Load(),
+		DropShutdown:       c.dropShutdown.Load(),
+		DropInject:         c.dropInject.Load(),
+	}
+}
+
+// obs renders the counters as observability extras for ObsCounters /
+// the Prometheus exposition / the queryable nodeStats table.
+func (c *transportCounters) obs() []metrics.Counter {
+	s := c.snapshot()
+	return []metrics.Counter{
+		{Name: "TransportDatagramsSent", Prom: "transport_datagrams_sent", I: s.DatagramsSent},
+		{Name: "TransportBytesSent", Prom: "transport_bytes_sent", I: s.BytesSent},
+		{Name: "TransportDatagramsRecv", Prom: "transport_datagrams_recv", I: s.DatagramsRecv},
+		{Name: "TransportBytesRecv", Prom: "transport_bytes_recv", I: s.BytesRecv},
+		{Name: "TransportDatagramsProcessed", Prom: "transport_datagrams_processed", I: s.DatagramsProcessed},
+		{Name: "TransportDropUnknownPeer", Prom: "transport_drop_unknown_peer", I: s.DropUnknownPeer},
+		{Name: "TransportDropDecode", Prom: "transport_drop_decode", I: s.DropDecode},
+		{Name: "TransportDropOverload", Prom: "transport_drop_overload", I: s.DropOverload},
+		{Name: "TransportDropShutdown", Prom: "transport_drop_shutdown", I: s.DropShutdown},
+		{Name: "TransportDropInject", Prom: "transport_drop_inject", I: s.DropInject},
+	}
 }
 
 // TransportStats snapshots the datagram-level counters; safe to call
 // concurrently with a running node.
-func (u *UDPNode) TransportStats() TransportStats {
-	return TransportStats{
-		DatagramsSent:   u.stats.datagramsSent.Load(),
-		BytesSent:       u.stats.bytesSent.Load(),
-		DatagramsRecv:   u.stats.datagramsRecv.Load(),
-		BytesRecv:       u.stats.bytesRecv.Load(),
-		DropUnknownPeer: u.stats.dropUnknownPeer.Load(),
-		DropDecode:      u.stats.dropDecode.Load(),
-		DropOverload:    u.stats.dropOverload.Load(),
-	}
+func (u *UDPNode) TransportStats() TransportStats { return u.stats.snapshot() }
+
+// sentNanosLen is the fixed width of the wall-clock send stamp in the
+// datagram frame. Fixed-width (not varint) so traffic generators can
+// patch it into a prebuilt frame at a constant offset.
+const sentNanosLen = 8
+
+// appendDatagram frames an envelope for the wire, appending to dst.
+func appendDatagram(dst []byte, env engine.Envelope, sentNanos int64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(env.Src)))
+	dst = append(dst, env.Src...)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(sentNanos))
+	dst = binary.AppendUvarint(dst, env.SrcTupleID)
+	return append(dst, env.Raw...)
 }
 
-// encodeDatagram frames an envelope for the wire.
-func encodeDatagram(env engine.Envelope) []byte {
-	buf := binary.AppendUvarint(nil, uint64(len(env.Src)))
-	buf = append(buf, env.Src...)
-	buf = binary.AppendUvarint(buf, env.SrcTupleID)
-	return append(buf, env.Raw...)
-}
-
-// decodeDatagram parses a wire frame back into an envelope.
-func decodeDatagram(b []byte) (engine.Envelope, error) {
+// decodeDatagram parses a wire frame back into an envelope plus the
+// sender's send stamp. The returned envelope aliases b only through
+// Raw: Src is interned (allocation-free for repeated senders), and the
+// engine copies or interns everything it keeps out of Raw, so the
+// backing buffer is recyclable as soon as HandleMessage returns.
+func decodeDatagram(b []byte) (engine.Envelope, int64, error) {
 	srcLen, n := binary.Uvarint(b)
 	if n <= 0 || int(srcLen) > len(b)-n {
-		return engine.Envelope{}, fmt.Errorf("realtime: bad datagram src")
+		return engine.Envelope{}, 0, fmt.Errorf("realtime: bad datagram src")
 	}
-	src := string(b[n : n+int(srcLen)])
+	src := tuple.InternBytes(b[n : n+int(srcLen)])
 	rest := b[n+int(srcLen):]
+	if len(rest) < sentNanosLen {
+		return engine.Envelope{}, 0, fmt.Errorf("realtime: bad datagram stamp")
+	}
+	sent := int64(binary.LittleEndian.Uint64(rest))
+	rest = rest[sentNanosLen:]
 	id, n2 := binary.Uvarint(rest)
 	if n2 <= 0 {
-		return engine.Envelope{}, fmt.Errorf("realtime: bad datagram id")
+		return engine.Envelope{}, 0, fmt.Errorf("realtime: bad datagram id")
 	}
-	return engine.Envelope{Src: src, SrcTupleID: id, Raw: rest[n2:]}, nil
+	return engine.Envelope{Src: src, SrcTupleID: id, Raw: rest[n2:]}, sent, nil
 }
 
 // NewUDPNode binds the socket and builds the node (stopped; call Start).
 func NewUDPNode(cfg UDPNodeConfig) (*UDPNode, error) {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.MaxDatagram <= 0 {
+		cfg.MaxDatagram = 64 << 10
+	}
+	if cfg.Readers <= 0 {
+		cfg.Readers = 1
+	}
 	laddr, err := net.ResolveUDPAddr("udp", cfg.Listen)
 	if err != nil {
 		return nil, fmt.Errorf("realtime: %w", err)
@@ -132,12 +233,18 @@ func NewUDPNode(cfg UDPNodeConfig) (*UDPNode, error) {
 	if err != nil {
 		return nil, fmt.Errorf("realtime: %w", err)
 	}
+	if cfg.SocketBuf > 0 {
+		conn.SetReadBuffer(cfg.SocketBuf) //nolint:errcheck // kernel caps silently; best effort
+	}
 	u := &UDPNode{
-		conn:    conn,
-		peers:   make(map[string]*net.UDPAddr),
-		tasks:   make(chan task, 1024),
-		done:    make(chan struct{}),
-		stopped: make(chan struct{}),
+		conn:     conn,
+		peers:    make(map[string]*net.UDPAddr),
+		tasks:    make(chan task, cfg.QueueDepth),
+		done:     make(chan struct{}),
+		stopped:  make(chan struct{}),
+		overload: cfg.Overload,
+		readers:  cfg.Readers,
+		pool:     newBufPool(cfg.MaxDatagram),
 	}
 	for p2addr, udpAddr := range cfg.Peers {
 		ra, err := net.ResolveUDPAddr("udp", udpAddr)
@@ -158,14 +265,17 @@ func NewUDPNode(cfg UDPNodeConfig) (*UDPNode, error) {
 				u.stats.dropUnknownPeer.Add(1)
 				return
 			}
-			frame := encodeDatagram(env)
+			// Send runs on the executor goroutine (the node's single
+			// writer), so the marshal scratch is reused send to send.
+			u.sendBuf = appendDatagram(u.sendBuf[:0], env, time.Now().UnixNano())
 			u.stats.datagramsSent.Add(1)
-			u.stats.bytesSent.Add(int64(len(frame)))
-			u.conn.WriteToUDP(frame, ra) //nolint:errcheck // datagram loss is expected
+			u.stats.bytesSent.Add(int64(len(u.sendBuf)))
+			u.conn.WriteToUDP(u.sendBuf, ra) //nolint:errcheck // datagram loss is expected
 		},
 		OnWatch:       cfg.OnWatch,
 		OnRuleError:   cfg.OnRuleError,
 		OnNewPeriodic: func(p *engine.Periodic) { u.armTimer(p) },
+		ExtraObs:      u.stats.obs,
 	})
 	return u, nil
 }
@@ -188,79 +298,126 @@ func (u *UDPNode) AddPeer(p2addr, udpAddr string) error {
 	return nil
 }
 
+// armTimer schedules a periodic on a single resettable timer.
 func (u *UDPNode) armTimer(p *engine.Periodic) {
-	period := time.Duration(p.Period() * float64(time.Second))
-	var fire func()
-	fire = func() {
-		select {
-		case <-u.done:
-			return
-		default:
-		}
-		select {
-		case u.tasks <- task{at: time.Now(), run: func() { u.node.HandleTimer(p) }}:
-		case <-u.done:
-			return
-		}
-		if !p.Done() {
-			time.AfterFunc(period, fire)
-		}
-	}
-	time.AfterFunc(period, fire)
+	armPeriodic(u.tasks, u.done, p, time.Duration(p.Period()*float64(time.Second)))
 }
 
-// Inject hands a tuple to the node as a local event.
+// Inject hands a tuple to the node as a local event. It honors the
+// node's overload policy exactly like the socket reader: under
+// OverloadDrop a full queue sheds the event (counted in DropInject) and
+// returns ErrOverload; under OverloadBlock the call waits for space.
 func (u *UDPNode) Inject(t tuple.Tuple) error {
-	select {
-	case u.tasks <- task{at: time.Now(), run: func() { u.node.HandleLocal(t) }}:
-		return nil
-	case <-u.done:
-		return fmt.Errorf("realtime: node stopped")
+	dropped, stopped := enqueue(u.tasks, u.done, u.overload,
+		task{at: time.Now(), kind: taskLocal, tup: t})
+	if stopped {
+		return ErrStopped
+	}
+	if dropped {
+		u.stats.dropInject.Add(1)
+		return ErrOverload
+	}
+	return nil
+}
+
+// dispatch accounts one received datagram and routes it toward the
+// executor; buf is the pooled buffer backing the datagram bytes, whose
+// ownership transfers to the task on enqueue (and back to the pool on
+// any drop). at is the batch receive timestamp. This is the reader hot
+// path: at most one allocation per datagram (an interning miss on a
+// brand-new source address), verified by TestReaderAllocsPerDatagram.
+func (u *UDPNode) dispatch(buf *[]byte, n int, at time.Time) {
+	u.stats.datagramsRecv.Add(1)
+	u.stats.bytesRecv.Add(int64(n))
+	env, sent, err := decodeDatagram((*buf)[:n])
+	if err != nil {
+		u.stats.dropDecode.Add(1)
+		u.pool.put(buf)
+		return
+	}
+	dropped, stopped := enqueue(u.tasks, u.done, u.overload,
+		task{at: at, sent: sent, kind: taskMsg, env: env, buf: buf})
+	if dropped {
+		u.stats.dropOverload.Add(1)
+		u.pool.put(buf)
+	} else if stopped {
+		u.stats.dropShutdown.Add(1)
+		u.pool.put(buf)
+	}
+}
+
+// readBatched drains the socket via recvmmsg: one syscall and one clock
+// read cover up to a whole batch of datagrams.
+func (u *UDPNode) readBatched(br *batchReader) {
+	for {
+		cnt, ok := br.read()
+		if !ok {
+			return // socket closed by Stop
+		}
+		at := time.Now()
+		for i := 0; i < cnt; i++ {
+			buf, n, trunc := br.take(i)
+			if trunc {
+				u.stats.datagramsRecv.Add(1)
+				u.stats.bytesRecv.Add(int64(n))
+				u.stats.dropDecode.Add(1)
+				u.pool.put(buf)
+				continue
+			}
+			u.dispatch(buf, n, at)
+		}
+	}
+}
+
+// readPortable is the per-datagram fallback; running several of these
+// readers concurrently (UDPNodeConfig.Readers) recovers most of the
+// batching win on platforms without recvmmsg.
+func (u *UDPNode) readPortable() {
+	for {
+		buf := u.pool.get()
+		n, _, err := u.conn.ReadFromUDP(*buf)
+		if err != nil {
+			u.pool.put(buf)
+			return // socket closed by Stop
+		}
+		u.dispatch(buf, n, time.Now())
 	}
 }
 
 // Start launches the reader and executor goroutines.
 func (u *UDPNode) Start() {
 	u.start = time.Now()
-	u.wg.Add(2)
-	// Socket reader.
-	go func() {
-		defer u.wg.Done()
-		buf := make([]byte, 64<<10)
-		for {
-			n, _, err := u.conn.ReadFromUDP(buf)
-			if err != nil {
-				return // socket closed by Stop
-			}
-			u.stats.datagramsRecv.Add(1)
-			u.stats.bytesRecv.Add(int64(n))
-			env, err := decodeDatagram(append([]byte(nil), buf[:n]...))
-			if err != nil {
-				u.stats.dropDecode.Add(1)
-				continue
-			}
-			select {
-			case u.tasks <- task{at: time.Now(), run: func() { u.node.HandleMessage(env) }}:
-			case <-u.done:
+	for i := 0; i < u.readers; i++ {
+		u.wg.Add(1)
+		go func() {
+			defer u.wg.Done()
+			if br := newBatchReader(u.conn, u.pool); br != nil {
+				u.readBatched(br)
 				return
-			default: // overload: drop, UDP-style
-				u.stats.dropOverload.Add(1)
 			}
-		}
-	}()
-	// Executor.
+			u.readPortable()
+		}()
+	}
+	// Executor: drains tasks in batches (one channel wake-up and one
+	// clock read cover up to taskBatch tasks).
+	u.wg.Add(1)
 	go func() {
 		defer u.wg.Done()
 		defer close(u.stopped)
 		sweep := time.NewTicker(time.Second)
 		defer sweep.Stop()
+		recycle := func(t *task) {
+			u.stats.datagramsProcessed.Add(1)
+			if t.buf != nil {
+				u.pool.put(t.buf)
+			}
+		}
 		for {
 			select {
 			case <-u.done:
 				return
 			case t := <-u.tasks:
-				observeTaskStart(u.node, t, len(u.tasks))
-				t.run()
+				drainBatch(u.node, u.tasks, t, recycle)
 			case <-sweep.C:
 				u.node.Sweep()
 			}
@@ -283,7 +440,7 @@ func (u *UDPNode) MetricsSnapshot() Stats {
 	}
 	ch := make(chan Stats, 1)
 	select {
-	case u.tasks <- task{at: time.Now(), run: func() { ch <- read() }}:
+	case u.tasks <- task{at: time.Now(), kind: taskFunc, fn: func() { ch <- read() }}:
 	case <-u.stopped:
 		return read()
 	}
@@ -319,7 +476,9 @@ func (u *UDPNode) ServeMetrics(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Stop closes the socket and waits for the goroutines.
+// Stop closes the socket and waits for the goroutines, then accounts
+// any tasks still queued (DropShutdown), so the conservation law over
+// TransportStats holds exactly even for an abrupt stop.
 func (u *UDPNode) Stop() {
 	select {
 	case <-u.done:
@@ -334,4 +493,17 @@ func (u *UDPNode) Stop() {
 	}
 	u.mu.Unlock()
 	u.wg.Wait()
+	for {
+		select {
+		case t := <-u.tasks:
+			if t.kind == taskMsg {
+				u.stats.dropShutdown.Add(1)
+				if t.buf != nil {
+					u.pool.put(t.buf)
+				}
+			}
+		default:
+			return
+		}
+	}
 }

@@ -12,17 +12,20 @@ import (
 func TestDatagramRoundTrip(t *testing.T) {
 	raw := tuple.Marshal(nil, tuple.New("x", tuple.Str("n1"), tuple.Int(7)))
 	env := engine.Envelope{Src: "n2", SrcTupleID: 42, Raw: raw}
-	got, err := decodeDatagram(encodeDatagram(env))
+	const stamp = int64(1234567890123456789)
+	got, sent, err := decodeDatagram(appendDatagram(nil, env, stamp))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Src != "n2" || got.SrcTupleID != 42 || len(got.Raw) != len(raw) {
-		t.Errorf("round trip = %+v", got)
+	if got.Src != "n2" || got.SrcTupleID != 42 || len(got.Raw) != len(raw) || sent != stamp {
+		t.Errorf("round trip = %+v sent=%d", got, sent)
 	}
-	// Truncations fail cleanly.
-	enc := encodeDatagram(env)
-	for _, cut := range []int{0, 1, 2} {
-		if _, err := decodeDatagram(enc[:cut]); err == nil && cut < 3 {
+	// Truncations anywhere in the frame fail cleanly (the tuple payload
+	// itself is validated by the engine's decode, not here).
+	enc := appendDatagram(nil, env, stamp)
+	header := 1 + len(env.Src) + sentNanosLen + 1 // srcLen varint + src + stamp + id varint
+	for cut := 0; cut < header; cut++ {
+		if _, _, err := decodeDatagram(enc[:cut]); err == nil {
 			t.Errorf("truncation to %d must fail", cut)
 		}
 	}
@@ -84,7 +87,7 @@ func heardOnB(b *UDPNode) bool {
 	// The injection above serializes behind any pending work; now read
 	// through another task to stay on the executor goroutine.
 	select {
-	case b.tasks <- task{at: time.Now(), run: func() {
+	case b.tasks <- task{at: time.Now(), kind: taskFunc, fn: func() {
 		n := 0
 		tb := b.node.Store().Get("heard")
 		tb.Scan(1e12, func(tuple.Tuple) { n++ })

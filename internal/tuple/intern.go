@@ -49,6 +49,11 @@ func Intern(s string) string {
 	return internSlow(s)
 }
 
+// InternBytes is Intern for a byte slice, allocating the string only on
+// a pool miss. The realtime UDP reader uses it to decode envelope source
+// addresses without a per-datagram allocation.
+func InternBytes(b []byte) string { return internBytes(b) }
+
 // internBytes is Intern for a byte slice, allocating the string only on
 // a pool miss.
 func internBytes(b []byte) string {
